@@ -1,0 +1,122 @@
+// Command ablations runs the design-choice studies DESIGN.md indexes:
+//
+//	E8  — the §3 closed-form cost model versus the simulator
+//	E9  — the formula (1) cutting-sequence heuristic versus the worst
+//	      member of Ψ
+//	E10 — partial versus total fault models (routing through versus
+//	      around faulty processors)
+//	E11 — full-block versus the paper's literal half-exchange
+//	      compare-exchange protocol
+//	E12 — distribution (Step 2 scatter + final gather) overhead the
+//	      paper's cost model excludes
+//	E13 — strong-scaling speedup of the distributed sort
+//	E14 — the paper's r >= n remark: how far past the guarantee the
+//	      partition (and the sort) still works
+//	E15 — mid-run failures: expected time-to-sorted under the
+//	      detect/re-partition/restart policy
+//	E16 — dead links: traffic and time inflation from routing detours
+//
+// Usage:
+//
+//	ablations [-seed 1992] [-which e8,e9,e10,e11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypersort/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 1992, "random seed")
+		which = flag.String("which", "e8,e9,e10,e11,e12,e13,e14,e15,e16", "comma-separated studies to run")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(strings.ToLower(w))] = true
+	}
+
+	if want["e8"] {
+		rows, err := experiments.CostAgreement(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E8 — closed-form cost model vs simulated makespan")
+		fmt.Println(experiments.FormatCostAgreement(rows))
+	}
+	if want["e9"] {
+		rows, err := experiments.HeuristicValue(6, 4000, 20, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E9 — formula (1) selection vs worst member of Ψ (Q_6)")
+		fmt.Println(experiments.FormatHeuristic(rows))
+	}
+	if want["e11"] {
+		rows, err := experiments.ProtocolComparison(5, 4000, 5, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E11 — full-block vs half-exchange protocol (Q_5)")
+		fmt.Println(experiments.FormatProtocol(rows))
+	}
+	if want["e12"] {
+		rows, err := experiments.DistributionOverhead(6, 3, []int{3200, 32000, 320000}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E12 — distribution overhead the cost model excludes (Q_6, r=3)")
+		fmt.Println(experiments.FormatDistribution(rows))
+	}
+	if want["e13"] {
+		rows, err := experiments.Speedup(64000, 8, *seed, experiments.DefaultSpeedupCost())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E13 — strong scaling of the fault-free distributed sort (M=64000)")
+		fmt.Println(experiments.FormatSpeedup(rows))
+	}
+	if want["e14"] {
+		rows, err := experiments.BeyondGuarantee(5, 12, 400, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E14 — beyond the r <= n-1 guarantee (Q_5, sampled placements)")
+		fmt.Println(experiments.FormatBeyond(rows))
+	}
+	if want["e15"] {
+		rows, err := experiments.Availability(5, 4000, 40, nil, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E15 — mid-run failures: restart-policy cost vs failure rate (Q_5)")
+		fmt.Println(experiments.FormatAvailability(rows))
+	}
+	if want["e16"] {
+		rows, err := experiments.LinkFaults(5, 4000, 4, 10, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E16 — dead links: detour cost on an otherwise healthy Q_5")
+		fmt.Println(experiments.FormatLinkFaults(rows))
+	}
+	if want["e10"] {
+		rows, err := experiments.FaultModelComparison(5, 4000, 10, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("E10 — partial vs total fault model (Q_5)")
+		fmt.Println(experiments.FormatFaultModel(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ablations:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command fig7 regenerates one panel of the paper's Figure 7: simulated
+// execution time versus number of keys for the fault-tolerant sort with
+// r = 0..n-1 faults (thin lines) against the fault-free bitonic sort on
+// smaller cubes (thick lines, the maximum fault-free subcube baseline).
+//
+// Usage:
+//
+//	fig7 -n 6                 # panel (a); -n 5, 4, 3 give (b), (d), (c)
+//	fig7 -n 6 -ms 3200,32000,320000 -trials 10 -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersort/internal/cli"
+	"hypersort/internal/experiments"
+	"hypersort/internal/machine"
+	"hypersort/internal/plot"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 6, "cube dimension of the panel")
+		msF    = flag.String("ms", "", "comma-separated key counts (default: the paper's 3200..320000)")
+		trials = flag.Int("trials", 5, "fault placements averaged per point")
+		seed   = flag.Uint64("seed", 1992, "random seed")
+		model  = flag.String("model", "partial", "fault model: partial or total")
+		tc     = flag.Int64("tc", 1, "cost of one comparison (t_c)")
+		tsr    = flag.Int64("tsr", 1, "cost of one key per hop (t_s/r)")
+		check  = flag.Bool("check", false, "verify the paper's who-wins orderings at the largest M")
+		asJSON = flag.Bool("json", false, "emit series as JSON instead of a table")
+		svgOut = flag.String("svg", "", "also write the panel as an SVG chart to this file")
+	)
+	flag.Parse()
+
+	ms, err := cli.ParseIntList(*msF)
+	if err != nil {
+		fatal(err)
+	}
+	fm, err := cli.ParseFaultModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	series, err := experiments.Fig7(experiments.Fig7Config{
+		N:              *n,
+		Ms:             ms,
+		TrialsPerPoint: *trials,
+		Seed:           *seed,
+		Model:          fm,
+		Cost:           machine.CostModel{Compare: machine.Time(*tc), Elem: machine.Time(*tsr)},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *svgOut != "" {
+		svg := plot.Fig7SVG(series, fmt.Sprintf("Figure 7, n=%d (simulated time vs M, log-log)", *n))
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(series); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Figure 7 panel, n=%d (simulated time units; thin = ours with r faults, thick = fault-free baseline)\n\n", *n)
+	fmt.Print(experiments.FormatFig7(series))
+
+	if *check {
+		violations := experiments.CheckFig7Shape(series)
+		if len(violations) == 0 {
+			fmt.Println("\nshape check: all of the paper's orderings hold at the largest M")
+		} else {
+			fmt.Println("\nshape check violations:")
+			for _, v := range violations {
+				fmt.Println("  -", v)
+			}
+			os.Exit(2)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fig7:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command reproduce regenerates every artifact of the paper's evaluation
+// in one run: Table 1, Table 2, all four Figure 7 panels (text, JSON and
+// SVG), and the ablation studies, writing them under an output directory
+// together with a summary of the shape checks.
+//
+// Usage:
+//
+//	reproduce [-out results] [-seed 1992] [-quick]
+//
+// -quick cuts trial counts for a fast smoke run; the defaults match the
+// paper's 10000-placement methodology and finish in well under a minute.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hypersort/internal/experiments"
+	"hypersort/internal/plot"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		seed  = flag.Uint64("seed", 1992, "random seed")
+		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
+	)
+	flag.Parse()
+
+	trials := 10000
+	figTrials := 5
+	if *quick {
+		trials = 300
+		figTrials = 2
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var summary strings.Builder
+	summary.WriteString("# Reproduction summary\n\n")
+	fmt.Fprintf(&summary, "seed %d, %d partition trials, %d placements per figure point\n\n", *seed, trials, figTrials)
+
+	// Table 1.
+	step("Table 1 (mincut distribution)")
+	t1, err := experiments.Table1(experiments.Table1Config{Trials: trials, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "table1.txt", experiments.FormatTable1(t1))
+	writeJSON(*out, "table1.json", t1)
+	summary.WriteString("- Table 1: written (anchor: n=6 r=5 mincut-3 share ~93.85% in the paper)\n")
+
+	// Table 2.
+	step("Table 2 (processor utilization)")
+	t2, err := experiments.Table2(experiments.Table2Config{Trials: trials, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "table2.txt", experiments.FormatTable2(t2))
+	writeJSON(*out, "table2.json", t2)
+	summary.WriteString("- Table 2: written (anchors: n=6 r=4 -> 100%/93.3% ours, 53.3%/26.6% baseline)\n")
+
+	// Figure 7 panels (paper labels: (a)=Q6, (b)=Q5, (c)=Q3, (d)=Q4).
+	for _, p := range []struct {
+		panel string
+		n     int
+	}{{"a", 6}, {"b", 5}, {"c", 3}, {"d", 4}} {
+		step(fmt.Sprintf("Figure 7(%s) (n=%d)", p.panel, p.n))
+		series, err := experiments.Fig7(experiments.Fig7Config{N: p.n, TrialsPerPoint: figTrials, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		base := "fig7" + p.panel
+		writeText(*out, base+".txt", experiments.FormatFig7(series))
+		writeJSON(*out, base+".json", series)
+		writeText(*out, base+".svg", plot.Fig7SVG(series,
+			fmt.Sprintf("Figure 7(%s): execution time vs M on Q_%d (log-log)", p.panel, p.n)))
+		if violations := experiments.CheckFig7Shape(series); len(violations) == 0 {
+			fmt.Fprintf(&summary, "- Figure 7(%s): shape check PASSED (all paper orderings hold at the largest M)\n", p.panel)
+		} else {
+			fmt.Fprintf(&summary, "- Figure 7(%s): shape check FAILED: %v\n", p.panel, violations)
+		}
+	}
+
+	// Ablations.
+	step("Ablations (E8-E16)")
+	e8, err := experiments.CostAgreement(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e8_costmodel.txt", experiments.FormatCostAgreement(e8))
+	e9, err := experiments.HeuristicValue(6, 4000, 20, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e9_heuristic.txt", experiments.FormatHeuristic(e9))
+	e10, err := experiments.FaultModelComparison(5, 4000, 10, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e10_faultmodel.txt", experiments.FormatFaultModel(e10))
+	e11, err := experiments.ProtocolComparison(5, 4000, 5, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e11_protocol.txt", experiments.FormatProtocol(e11))
+	e12, err := experiments.DistributionOverhead(6, 3, []int{3200, 32000, 320000}, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e12_distribution.txt", experiments.FormatDistribution(e12))
+	e13, err := experiments.Speedup(64000, 8, *seed, experiments.DefaultSpeedupCost())
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e13_speedup.txt", experiments.FormatSpeedup(e13))
+	beyondTrials := trials
+	if beyondTrials > 400 {
+		beyondTrials = 400
+	}
+	e14, err := experiments.BeyondGuarantee(5, 12, beyondTrials, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e14_beyond.txt", experiments.FormatBeyond(e14))
+	availTrials := 40
+	if *quick {
+		availTrials = 8
+	}
+	e15, err := experiments.Availability(5, 4000, availTrials, nil, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e15_availability.txt", experiments.FormatAvailability(e15))
+	e16, err := experiments.LinkFaults(5, 4000, 4, 10, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeText(*out, "e16_linkfaults.txt", experiments.FormatLinkFaults(e16))
+	summary.WriteString("- Ablations E8-E16: written\n")
+
+	writeText(*out, "SUMMARY.md", summary.String())
+	fmt.Printf("\nall artifacts written to %s/\n", *out)
+	fmt.Print(summary.String())
+}
+
+func step(name string) { fmt.Println("reproducing:", name) }
+
+func writeText(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func writeJSON(dir, name string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	writeText(dir, name, string(data)+"\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

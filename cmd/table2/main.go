@@ -1,0 +1,48 @@
+// Command table2 regenerates the paper's Table 2: processor utilization
+// of the proposed partition algorithm versus the maximum dimensional
+// fault-free subcube method, best/worst/mean over random fault
+// placements.
+//
+// Usage:
+//
+//	table2 [-trials 10000] [-seed 1992] [-min-n 3] [-max-n 6]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersort/internal/experiments"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 10000, "random fault placements per (n, r)")
+		seed   = flag.Uint64("seed", 1992, "random seed")
+		minN   = flag.Int("min-n", 3, "smallest cube dimension")
+		maxN   = flag.Int("max-n", 6, "largest cube dimension")
+		asJSON = flag.Bool("json", false, "emit rows as JSON instead of a table")
+	)
+	flag.Parse()
+
+	rows, err := experiments.Table2(experiments.Table2Config{
+		MinN: *minN, MaxN: *maxN, Trials: *trials, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Table 2 — processor utilization, ours vs maximum fault-free subcube (%d trials per row, seed %d)\n\n", *trials, *seed)
+	fmt.Print(experiments.FormatTable2(rows))
+}

@@ -1,0 +1,58 @@
+package hypersort_test
+
+import (
+	"fmt"
+
+	"hypersort"
+)
+
+// ExampleSort shows the one-call path: sort keys on a 16-processor
+// hypercube whose processor 5 is faulty.
+func ExampleSort() {
+	keys := []hypersort.Key{42, 7, 19, 3, 25, 11, 8, 30}
+	sorted, _, err := hypersort.Sort(hypersort.Config{
+		Dim:    4,
+		Faults: []hypersort.NodeID{5},
+	}, keys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sorted)
+	// Output: [3 7 8 11 19 25 30 42]
+}
+
+// ExampleNew_partition inspects the partition decisions for the paper's
+// Example 1 fault set.
+func ExampleNew_partition() {
+	s, err := hypersort.New(hypersort.Config{
+		Dim:    5,
+		Faults: []hypersort.NodeID{3, 5, 16, 24},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	p := s.Partition()
+	fmt.Println("mincut:", p.Mincut)
+	fmt.Println("chosen:", p.Chosen)
+	fmt.Println("dangling:", p.Dangling)
+	fmt.Printf("utilization: %.1f%%\n", 100*p.Utilization)
+	// Output:
+	// mincut: 3
+	// chosen: [0 1 3]
+	// dangling: [18 25 26 27]
+	// utilization: 85.7%
+}
+
+// ExampleDiagnose runs the off-line PMC diagnosis round and recovers the
+// fault set from neighbor test results.
+func ExampleDiagnose() {
+	found, err := hypersort.Diagnose(5, []hypersort.NodeID{7, 21}, 99)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(found)
+	// Output: [7 21]
+}

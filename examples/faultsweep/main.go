@@ -1,0 +1,75 @@
+// Faultsweep: the operator's question the paper answers — as processors
+// fail one by one on a 64-node hypercube, how much sorting throughput
+// survives? Compares the fault-tolerant sort (keep the whole machine,
+// partition around faults) against the classic reconfiguration (retreat
+// to the biggest fault-free subcube) at each fault count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hypersort"
+	"hypersort/internal/bitonic"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/maxsubcube"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+const (
+	dim  = 6
+	mKey = 64_000
+)
+
+func main() {
+	rng := xrand.New(2026)
+	keys := workload.MustGenerate(workload.Uniform, mKey, rng)
+	h := cube.New(dim)
+
+	// Fail processors one at a time (cumulatively, same story an operator
+	// lives through) and measure both strategies after each failure.
+	failureOrder := rng.Sample(h.Size(), dim-1)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "failed\tours: working\tours: time\tbaseline: subcube\tbaseline: time\tspeedup")
+	var faults []hypersort.NodeID
+	for r := 0; r <= dim-1; r++ {
+		if r > 0 {
+			faults = append(faults, hypersort.NodeID(failureOrder[r-1]))
+		}
+
+		// Ours: fault-tolerant sort on the whole degraded machine.
+		s, err := hypersort.New(hypersort.Config{Dim: dim, Faults: faults})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := s.Sort(keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Baseline: plain bitonic sort on the maximum fault-free subcube.
+		faultSet := cube.NewNodeSet(faults...)
+		sc, k := maxsubcube.Find(h, faultSet)
+		baseMach := machine.MustNew(machine.Config{Dim: k})
+		_, baseRes, err := bitonic.Sort(baseMach, bitonic.FullCube(k), keys, sortutil.Ascending)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Fprintf(w, "%d\t%d procs\t%d\tQ_%d (%s)\t%d\t%.2fx\n",
+			r, s.Partition().Working, stats.Makespan,
+			k, sc.Format(h), baseRes.Makespan,
+			float64(baseRes.Makespan)/float64(stats.Makespan))
+	}
+	w.Flush()
+	fmt.Println("\nspeedup > 1 means the fault-tolerant sort beats retreating to the fault-free subcube.")
+	fmt.Println("Rows where the baseline wins are placements where a large subcube happened to survive —")
+	fmt.Println("the paper's point (§4) is that this is a gamble: the baseline's worst case idles 3/4 of")
+	fmt.Println("the machine, while the partition approach never idles more than 1/4.")
+}

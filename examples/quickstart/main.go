@@ -1,0 +1,56 @@
+// Quickstart: sort 100k keys on a simulated 64-processor hypercube that
+// has three faulty processors, using the public hypersort API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"hypersort"
+)
+
+func main() {
+	// A 6-dimensional hypercube (64 processors) with three known faults.
+	// In a real deployment the fault list comes from diagnosis (see
+	// examples/diagnosis); here we just declare it.
+	s, err := hypersort.New(hypersort.Config{
+		Dim:    6,
+		Faults: []hypersort.NodeID{5, 23, 40},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The partition algorithm has already run: inspect its decisions.
+	p := s.Partition()
+	fmt.Printf("partitioned Q_6 into %d subcubes (cuts along dims %v)\n", 1<<len(p.Chosen), p.Chosen)
+	fmt.Printf("working processors: %d of 61 healthy (%.1f%% utilization, %d dangling)\n",
+		p.Working, 100*p.Utilization, len(p.Dangling))
+
+	// Sort a shuffled workload.
+	keys := make([]hypersort.Key, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = hypersort.Key(rng.Int63())
+	}
+	sorted, stats, err := s.Sort(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		log.Fatal("output not sorted")
+	}
+	fmt.Printf("sorted %d keys in %d simulated time units\n", len(sorted), stats.Makespan)
+	fmt.Printf("traffic: %d messages, %d key-hops; compute: %d comparisons\n",
+		stats.Messages, stats.KeyHops, stats.Comparisons)
+
+	// Compare with the paper's closed-form worst-case estimate.
+	est, err := s.EstimatedTime(len(keys))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed-form worst-case estimate: %d units (measured/estimate = %.2f)\n",
+		est, float64(stats.Makespan)/float64(est))
+}

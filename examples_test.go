@@ -1,0 +1,42 @@
+package hypersort
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// for its headline output — the examples are documentation, and
+// documentation that does not run is worse than none.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the example programs")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"partitioned Q_6", "sorted 100000 keys", "closed-form"}},
+		{"faultsweep", []string{"ours: working", "speedup"}},
+		{"diagnosis", []string{"diagnosis identified: [9 27 50]", "sorted 50000 keys"}},
+		{"partition_explorer", []string{"mincut m = 3", "D_β = (0, 1, 3)", "dangling processors [18 25 26 27]"}},
+		{"recovery", []string{"failure-free sort", "attempts:", "time-to-sorted"}},
+		{"topk", []string{"top 10 of 50000 readings", "both methods agree", "cheaper"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

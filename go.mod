@@ -1,0 +1,3 @@
+module hypersort
+
+go 1.22

@@ -1,0 +1,278 @@
+package hypersort
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+func genKeys(n int, seed uint64) []Key {
+	return workload.MustGenerate(workload.Uniform, n, xrand.New(seed))
+}
+
+func TestSortOneCall(t *testing.T) {
+	keys := genKeys(500, 1)
+	sorted, stats, err := Sort(Config{Dim: 5, Faults: []NodeID{3, 17, 24}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != len(keys) {
+		t.Fatalf("length %d != %d", len(sorted), len(keys))
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted")
+	}
+	if stats.Makespan <= 0 || stats.Comparisons <= 0 || stats.Messages <= 0 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+}
+
+func TestSorterReuse(t *testing.T) {
+	s, err := New(Config{Dim: 4, Faults: []NodeID{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		keys := genKeys(200+17*trial, uint64(trial))
+		sorted, _, err := s.Sort(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sorted) != len(keys) {
+			t.Fatal("length mismatch")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: -1}); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := New(Config{Dim: 2, Faults: []NodeID{9}}); err == nil {
+		t.Error("fault outside cube accepted")
+	}
+	if _, err := New(Config{Dim: 1, Faults: []NodeID{0, 1}}); err == nil {
+		t.Error("fully faulty cube accepted")
+	}
+}
+
+func TestPartitionInfoPaperExample(t *testing.T) {
+	s, err := New(Config{Dim: 5, Faults: []NodeID{3, 5, 16, 24}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Partition()
+	if p.Mincut != 3 || len(p.CuttingSet) != 5 {
+		t.Errorf("mincut=%d |Ψ|=%d", p.Mincut, len(p.CuttingSet))
+	}
+	if len(p.Chosen) != 3 || p.Chosen[0] != 0 || p.Chosen[1] != 1 || p.Chosen[2] != 3 {
+		t.Errorf("chosen = %v", p.Chosen)
+	}
+	if p.ExtraComm != 3 || p.Working != 24 {
+		t.Errorf("extra=%d working=%d", p.ExtraComm, p.Working)
+	}
+	want := []NodeID{18, 25, 26, 27}
+	if len(p.Dangling) != 4 {
+		t.Fatalf("dangling = %v", p.Dangling)
+	}
+	for i := range want {
+		if p.Dangling[i] != want[i] {
+			t.Fatalf("dangling = %v", p.Dangling)
+		}
+	}
+	if p.Utilization <= 0.85 || p.Utilization > 1 {
+		t.Errorf("utilization = %v", p.Utilization)
+	}
+	// Mutating the returned copies must not affect the sorter.
+	p.Chosen[0] = 99
+	if s.Partition().Chosen[0] == 99 {
+		t.Error("Partition returned aliased state")
+	}
+}
+
+func TestEstimatedTime(t *testing.T) {
+	s, err := New(Config{Dim: 5, Faults: []NodeID{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.EstimatedTime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := s.EstimatedTime(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0 || large <= small {
+		t.Errorf("estimates %d, %d", small, large)
+	}
+	if _, err := s.EstimatedTime(-1); err == nil {
+		t.Error("negative M accepted")
+	}
+}
+
+func TestDiagnoseThenSort(t *testing.T) {
+	trueFaults := []NodeID{5, 40, 61}
+	found, err := Diagnose(6, trueFaults, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != len(trueFaults) {
+		t.Fatalf("diagnosed %v", found)
+	}
+	for i := range trueFaults {
+		if found[i] != trueFaults[i] {
+			t.Fatalf("diagnosed %v, want %v", found, trueFaults)
+		}
+	}
+	keys := genKeys(640, 9)
+	sorted, _, err := Sort(Config{Dim: 6, Faults: found}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted after diagnose+sort")
+	}
+}
+
+func TestSortCustomCostAndModel(t *testing.T) {
+	keys := genKeys(300, 3)
+	_, stats, err := Sort(Config{
+		Dim:    4,
+		Faults: []NodeID{2},
+		Model:  Total,
+		Cost:   CostModel{Compare: 2, Elem: 7, Startup: 11},
+	}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestSortHalfExchangeProtocol(t *testing.T) {
+	keys := genKeys(400, 5)
+	a, _, err := Sort(Config{Dim: 4, Faults: []NodeID{6}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Sort(Config{Dim: 4, Faults: []NodeID{6}, Protocol: HalfExchange}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("protocols disagree")
+		}
+	}
+}
+
+func TestSortAccountDistribution(t *testing.T) {
+	keys := genKeys(800, 7)
+	_, plain, err := Sort(Config{Dim: 4, Faults: []NodeID{2}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, dist, err := Sort(Config{Dim: 4, Faults: []NodeID{2}, AccountDistribution: true}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted with distribution accounting")
+	}
+	if dist.Makespan <= plain.Makespan {
+		t.Errorf("distribution accounting did not increase time: %d vs %d", dist.Makespan, plain.Makespan)
+	}
+}
+
+func TestSortTraceHook(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	cfg := Config{Dim: 3, Faults: []NodeID{1}, Trace: func(TraceEvent) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}}
+	if _, _, err := Sort(cfg, genKeys(100, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("trace hook never called")
+	}
+}
+
+func TestSortWithLinkFaults(t *testing.T) {
+	keys := genKeys(300, 11)
+	sorted, stats, err := Sort(Config{
+		Dim:        4,
+		Faults:     []NodeID{6},
+		LinkFaults: [][2]NodeID{{0, 1}, {9, 13}},
+	}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted with link faults")
+	}
+	_, clean, err := Sort(Config{Dim: 4, Faults: []NodeID{6}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.KeyHops < clean.KeyHops {
+		t.Error("link faults did not inflate traffic")
+	}
+	if _, err := New(Config{Dim: 4, LinkFaults: [][2]NodeID{{0, 3}}}); err == nil {
+		t.Error("non-edge link fault accepted")
+	}
+}
+
+func TestSelectionFacade(t *testing.T) {
+	s, err := New(Config{Dim: 4, Faults: []NodeID{7, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := genKeys(501, 12)
+	ref := append([]Key(nil), keys...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+	kth, stats, err := s.KthSmallest(keys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kth != ref[99] || stats.Makespan <= 0 {
+		t.Errorf("KthSmallest = %d, want %d", kth, ref[99])
+	}
+	med, _, err := s.Median(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != ref[250] {
+		t.Errorf("Median = %d, want %d", med, ref[250])
+	}
+	top, _, err := s.TopK(keys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if top[i] != ref[len(ref)-5+i] {
+			t.Errorf("TopK[%d] = %d, want %d", i, top[i], ref[len(ref)-5+i])
+		}
+	}
+	if _, _, err := s.KthSmallest(keys, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+}
+
+func TestSortEmptyAndFaultFree(t *testing.T) {
+	sorted, _, err := Sort(Config{Dim: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != 0 {
+		t.Errorf("sorted empty input into %v", sorted)
+	}
+}

@@ -1,0 +1,144 @@
+package bitonic
+
+import (
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+)
+
+// Protocol selects how a compare-exchange moves keys between partners.
+// Both protocols transfer exactly k keys per node per exchange; they
+// differ in message count and comparison count.
+type Protocol int
+
+const (
+	// FullBlock swaps whole chunks in one message each way; each side
+	// computes the compare-split locally (k comparisons). The library
+	// default.
+	FullBlock Protocol = iota
+	// HalfExchange is the paper's literal Step 7(a)-(c): each side sends
+	// half its chunk, the pairs are compared element-wise (k/2
+	// comparisons per side), losers are returned in a second message,
+	// and the kept halves are merged (k-1 comparisons). Two messages
+	// each way instead of one, ~1.5k comparisons instead of k.
+	HalfExchange
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == HalfExchange {
+		return "half-exchange"
+	}
+	return "full-block"
+}
+
+// tagsPerExchange returns how many message tags one compare-exchange
+// consumes, so skipping nodes stay aligned with exchanging ones.
+func (p Protocol) tagsPerExchange() int {
+	if p == HalfExchange {
+		return 2
+	}
+	return 1
+}
+
+// exchangeSplitHalf runs the paper's two-round protocol with the
+// processor at peer. Both chunks are sorted ascending and equally sized;
+// pairing is positional against the partner's descending view
+// (mine[t] vs theirs[k-1-t]), which is exactly the paper's first-half /
+// last-half exchange expressed over ascending storage.
+//
+// Roles: the keep-low side evaluates pairs t in [h, k) and ends with all
+// the pair minima; the keep-high side evaluates pairs t in [0, h) and
+// ends with all the maxima (h = k/2). The minima form an
+// ascending-then-descending sequence and the maxima a
+// descending-then-ascending one; Step 7(c)'s merge of "the two ordered
+// subsequences" restores ascending chunk order.
+func (c *Ctx) exchangeSplitHalf(peer cube.NodeID, tag1, tag2 machine.Tag, keepLow bool) {
+	k := len(c.Chunk)
+	h := k / 2
+	if keepLow {
+		// Round 1 (Step 7a): send my first half, receive theirs.
+		theirs := c.P.Exchange(peer, tag1, c.Chunk[:h])
+		// Round 2 (Step 7b): evaluate pairs t in [h, k): mine[t] vs
+		// theirs[k-1-t]; theirs holds their ascending first half
+		// [0, k-h), and k-1-t for t in [h,k) spans [0, k-h).
+		kept := make([]sortutil.Key, 0, k)
+		losers := make([]sortutil.Key, 0, k-h)
+		for t := h; t < k; t++ {
+			a, b := c.Chunk[t], theirs[k-1-t]
+			if a <= b {
+				kept = append(kept, a)
+				losers = append(losers, b)
+			} else {
+				kept = append(kept, b)
+				losers = append(losers, a)
+			}
+		}
+		c.P.Compute(k - h)
+		c.P.Send(peer, tag2, losers)
+		won := c.P.Recv(peer, tag2) // minima of pairs [0, h), in t order
+		// Step 7c: minima in t order are ascending-then-descending.
+		c.Chunk = sortBitonicRuns(append(won, kept...))
+		c.P.Compute(k - 1)
+		return
+	}
+	// Keep-high side: send my first half too (the paper's "last half of
+	// the descending view" is the ascending first half), receive theirs.
+	theirs := c.P.Exchange(peer, tag1, c.Chunk[:k-h])
+	// Evaluate pairs t in [0, h): mine in the descending view is
+	// b_desc[t] = chunk[k-1-t]; partner's element is a[t] = theirs[t].
+	kept := make([]sortutil.Key, 0, k)
+	losers := make([]sortutil.Key, 0, h)
+	for t := 0; t < h; t++ {
+		a, b := theirs[t], c.Chunk[k-1-t]
+		if a >= b {
+			kept = append(kept, a)
+			losers = append(losers, b)
+		} else {
+			kept = append(kept, b)
+			losers = append(losers, a)
+		}
+	}
+	c.P.Compute(h)
+	c.P.Send(peer, tag2, losers)
+	won := c.P.Recv(peer, tag2) // maxima of pairs [h, k), in t order
+	// Maxima in t order are descending-then-ascending (kept covers
+	// t in [0,h), won covers t in [h,k)).
+	c.Chunk = sortBitonicRuns(append(kept, won...))
+	c.P.Compute(k - 1)
+}
+
+// sortBitonicRuns sorts a sequence consisting of at most two monotone
+// runs (ascending-then-descending or descending-then-ascending) into
+// ascending order with a single merge — the paper's Step 7(c).
+func sortBitonicRuns(xs []sortutil.Key) []sortutil.Key {
+	n := len(xs)
+	if n <= 1 {
+		return xs
+	}
+	// Find the end of the first monotone run; equal neighbors continue a
+	// run in either direction, so skip the leading plateau before fixing
+	// the direction and let plateaus extend the run afterwards.
+	i := 1
+	for i < n && xs[i] == xs[i-1] {
+		i++
+	}
+	if i == n {
+		return xs // constant sequence
+	}
+	ascending := xs[i] > xs[i-1]
+	i++
+	for i < n && (xs[i] == xs[i-1] || (xs[i] > xs[i-1]) == ascending) {
+		i++
+	}
+	first, second := xs[:i], xs[i:]
+	// Normalize both runs to ascending; the second run is monotone by
+	// the two-run precondition, so a single sortedness probe suffices.
+	if !ascending {
+		sortutil.Reverse(first)
+	}
+	if !sortutil.IsSorted(second, sortutil.Ascending) {
+		sortutil.Reverse(second)
+	}
+	return sortutil.Merge(first, second, sortutil.Ascending)
+}

@@ -1,0 +1,111 @@
+package bitonic
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+)
+
+// Sort distributes keys over the live processors of view v on machine m,
+// runs the block bitonic sort in direction dir, and returns the sorted
+// result gathered in logical-address order together with the run's
+// simulated cost. Keys are padded with Inf dummies to equalize chunk
+// sizes; the returned slice has the dummies stripped, so it is a sorted
+// permutation of keys.
+//
+// This is the complete "bitonic sorting algorithm on a hypercube with at
+// most one faulty processor" of the paper's §2.1 — the component the
+// fault-tolerant algorithm applies inside each subcube, and (with a
+// fault-free full-cube view) the baseline it compares against.
+func Sort(m *machine.Machine, v View, keys []sortutil.Key, dir sortutil.Direction) ([]sortutil.Key, machine.Result, error) {
+	return SortProto(m, v, keys, dir, FullBlock)
+}
+
+// SortProto is Sort with an explicit compare-exchange protocol (the
+// paper's two-round half-exchange or the default full-block swap).
+func SortProto(m *machine.Machine, v View, keys []sortutil.Key, dir sortutil.Direction, proto Protocol) ([]sortutil.Key, machine.Result, error) {
+	if err := v.Validate(m.Cube().Dim()); err != nil {
+		return nil, machine.Result{}, err
+	}
+	live := v.LivePhys()
+	for _, phys := range live {
+		if m.Faults().Has(phys) {
+			return nil, machine.Result{}, fmt.Errorf("bitonic: live view processor %d is faulty on the machine", phys)
+		}
+	}
+	shares, err := workload.Distribute(keys, len(live))
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	// shareIdx maps physical address to this run's share slot.
+	shareIdx := make(map[cube.NodeID]int, len(live))
+	for i, phys := range live {
+		shareIdx[phys] = i
+	}
+	out := make([][]sortutil.Key, len(live))
+	res, err := m.Run(live, func(p *machine.Proc) error {
+		idx := shareIdx[p.ID()]
+		ctx := NewCtx(p, v, sortutil.Clone(shares[idx]))
+		ctx.Protocol = proto
+		ctx.SortView(v, dir)
+		out[idx] = ctx.Chunk
+		return nil
+	})
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	gathered := make([]sortutil.Key, 0, len(keys))
+	if dir == sortutil.Ascending {
+		for _, chunk := range out {
+			gathered = append(gathered, chunk...)
+		}
+	} else {
+		// Chunks are internally ascending while the block order is
+		// descending; emit each chunk reversed to produce a descending
+		// stream.
+		for _, chunk := range out {
+			rev := sortutil.Clone(chunk)
+			sortutil.Reverse(rev)
+			gathered = append(gathered, rev...)
+		}
+	}
+	return stripDummies(gathered, dir), res, nil
+}
+
+// stripDummies removes Inf padding from a stream sorted in direction dir.
+func stripDummies(xs []sortutil.Key, dir sortutil.Direction) []sortutil.Key {
+	if dir == sortutil.Ascending {
+		return sortutil.StripInf(xs)
+	}
+	i := 0
+	for i < len(xs) && xs[i] == sortutil.Inf {
+		i++
+	}
+	return xs[i:]
+}
+
+// SingleFaultView builds the §2.1 view of a whole n-cube with one faulty
+// processor: addresses are reindexed by XOR with the fault so it sits at
+// logical 0, and logical 0 is marked dead.
+func SingleFaultView(n int, fault cube.NodeID) View {
+	v := FullCube(n)
+	v.Pivot = fault
+	v.Dead = true
+	return v
+}
+
+// SubcubeView builds the view of one subcube of a split (the paper's
+// F_n^m component): sc identifies the subcube's fixed coordinates, and
+// deadW, if non-nil, is the physical local address (in the subcube's free
+// dimensions, ascending order = local bit order) of its dead processor.
+func SubcubeView(h cube.Hypercube, sc cube.Subcube, deadW *cube.NodeID) View {
+	v := View{Dims: sc.FreeDims(h), Fixed: sc.Value & sc.Mask}
+	if deadW != nil {
+		v.Pivot = *deadW
+		v.Dead = true
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"testing"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/machine"
+)
+
+func TestParseNodeList(t *testing.T) {
+	got, err := ParseNodeList(" 3, 5,16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 16 {
+		t.Errorf("got %v", got)
+	}
+	if got, err := ParseNodeList(""); err != nil || got != nil {
+		t.Error("blank should yield nil, nil")
+	}
+	if got, err := ParseNodeList("   "); err != nil || got != nil {
+		t.Error("whitespace should yield nil, nil")
+	}
+	for _, bad := range []string{"a", "1,,2", "-1", "1,2,x"} {
+		if _, err := ParseNodeList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("3200, 32000")
+	if err != nil || len(got) != 2 || got[1] != 32000 {
+		t.Errorf("got %v, %v", got, err)
+	}
+	if got, err := ParseIntList(""); err != nil || got != nil {
+		t.Error("blank should yield nil, nil")
+	}
+	for _, bad := range []string{"x", "0", "-5", "1,0"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseFaultModel(t *testing.T) {
+	if m, err := ParseFaultModel("partial"); err != nil || m != machine.Partial {
+		t.Error("partial failed")
+	}
+	if m, err := ParseFaultModel(" Total "); err != nil || m != machine.Total {
+		t.Error("total failed")
+	}
+	if _, err := ParseFaultModel("sideways"); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	if p, err := ParseProtocol("full"); err != nil || p != bitonic.FullBlock {
+		t.Error("full failed")
+	}
+	if p, err := ParseProtocol("half-exchange"); err != nil || p != bitonic.HalfExchange {
+		t.Error("half failed")
+	}
+	if _, err := ParseProtocol("quarter"); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	s, err := ParseEdgeList(" 0-1, 5-7 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || !s.Has(1, 0) || !s.Has(7, 5) {
+		t.Errorf("got %v", s.Sorted())
+	}
+	if s, err := ParseEdgeList(""); err != nil || s != nil {
+		t.Error("blank should yield nil, nil")
+	}
+	for _, bad := range []string{"0", "0-3", "a-b", "0-1-2", "0-x"} {
+		if _, err := ParseEdgeList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package collective implements the classic hypercube collective
+// operations — binomial-tree broadcast, scatter, gather, and reductions —
+// over arbitrary participant groups of the simulated machine.
+//
+// The paper's Step 2 assumes a host that "distributes each normal
+// processor ⌊M/N'⌋ elements" and its cost model excludes that phase;
+// these collectives make the phase executable (and priceable) so the
+// distribution overhead the paper set aside can be measured (see the
+// distribution ablation in EXPERIMENTS.md).
+//
+// Groups are ordered lists of physical processors; the trees are built
+// over group *ranks*, so they work for any participant set — including
+// the fault-tolerant sort's working set, which is not a subcube — with
+// the machine's router pricing each edge's real hop count.
+package collective
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+)
+
+// Group is an ordered set of participating processors. Rank i is
+// Members[i]; collective semantics (roots, share order) are defined over
+// ranks.
+type Group struct {
+	members []cube.NodeID
+	rank    map[cube.NodeID]int
+}
+
+// NewGroup builds a group from an ordered member list. Duplicate members
+// are rejected: a processor cannot hold two ranks.
+func NewGroup(members []cube.NodeID) (*Group, error) {
+	g := &Group{
+		members: append([]cube.NodeID(nil), members...),
+		rank:    make(map[cube.NodeID]int, len(members)),
+	}
+	for i, m := range members {
+		if _, dup := g.rank[m]; dup {
+			return nil, fmt.Errorf("collective: processor %d appears twice in group", m)
+		}
+		g.rank[m] = i
+	}
+	if len(g.members) == 0 {
+		return nil, fmt.Errorf("collective: empty group")
+	}
+	return g, nil
+}
+
+// MustGroup is NewGroup for statically valid member lists.
+func MustGroup(members []cube.NodeID) *Group {
+	g, err := NewGroup(members)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Size returns the number of participants P.
+func (g *Group) Size() int { return len(g.members) }
+
+// Member returns the processor at the given rank.
+func (g *Group) Member(rank int) cube.NodeID { return g.members[rank] }
+
+// RankOf returns the rank of a processor and whether it belongs to the
+// group.
+func (g *Group) RankOf(id cube.NodeID) (int, bool) {
+	r, ok := g.rank[id]
+	return r, ok
+}
+
+// rankOfProc returns the caller's rank, panicking the kernel (via the
+// machine's failure path) if it is not a member — calling a collective
+// from outside the group is a programming error that must not hang the
+// other participants silently.
+func rankOfProc(p *machine.Proc, g *Group) int {
+	r, ok := g.rank[p.ID()]
+	if !ok {
+		panic(fmt.Sprintf("collective: processor %d is not in the group", p.ID()))
+	}
+	return r
+}
+
+// Broadcast distributes keys from the root rank to every group member
+// using a binomial tree (ceil(log2 P) rounds). Every member must call it
+// with the same root and tag; non-root callers pass nil keys and receive
+// the broadcast payload. The returned slice is owned by the caller.
+func Broadcast(p *machine.Proc, g *Group, root int, tag machine.Tag, keys []sortutil.Key) []sortutil.Key {
+	self := rankOfProc(p, g)
+	pSize := g.Size()
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (self - root + pSize) % pSize
+	data := keys
+	if vr != 0 {
+		// Receive from the partner that covers this rank: the sender is
+		// vr with its highest set bit cleared.
+		h := highestBit(vr)
+		src := (clearBit(vr, h) + root) % pSize
+		data = p.Recv(g.Member(src), tag)
+	}
+	// Forward to the ranks this node covers.
+	for h := nextPow2Exp(pSize) - 1; h >= 0; h-- {
+		if vr >= 1<<h {
+			continue // this node receives in round h, never sends before
+		}
+		dst := vr | 1<<h
+		if dst < pSize && dst != vr {
+			p.Send(g.Member((dst+root)%pSize), tag, data)
+		}
+	}
+	return append([]sortutil.Key(nil), data...)
+}
+
+// Scatter distributes shares[i] to rank i from the root using recursive
+// range halving (binomial scatter): the holder of a rank range forwards
+// the upper half's shares in one message, so the root injects O(M) keys
+// over O(log P) messages instead of P messages. Only the root passes
+// shares (len(shares) == P, in rank order); every member returns its own
+// share.
+func Scatter(p *machine.Proc, g *Group, root int, tag machine.Tag, shares [][]sortutil.Key) []sortutil.Key {
+	self := rankOfProc(p, g)
+	pSize := g.Size()
+	vr := (self - root + pSize) % pSize
+
+	// blocks[i] is virtual-rank i's share (populated at the root, or on
+	// receipt for the subtree this node owns).
+	var owned [][]sortutil.Key
+	lo, hi := 0, pSize // the virtual-rank range this node currently owns
+	if vr == 0 {
+		if len(shares) != pSize {
+			panic(fmt.Sprintf("collective: %d shares for group of %d", len(shares), pSize))
+		}
+		owned = make([][]sortutil.Key, pSize)
+		for i := range shares {
+			owned[(i-root+pSize)%pSize] = shares[i]
+		}
+	} else {
+		// Receive this node's subtree block. In the range-halving tree a
+		// base rank's parent is the rank with its lowest set bit cleared
+		// (the retained lower half's base).
+		src := (clearLowestBit(vr) + root) % pSize
+		flat := p.Recv(g.Member(src), tag)
+		counts := p.Recv(g.Member(src), tag+1)
+		owned = unflatten(flat, counts)
+		lo = vr
+		hi = vr + len(owned)
+	}
+	// Split the owned range by halving: in each step send the upper half
+	// of the remaining range to its base rank.
+	for hi-lo > 1 {
+		mid := lo + nextRangeSplit(hi-lo)
+		upper := owned[mid-lo:]
+		dst := (mid + root) % pSize
+		flat, counts := flatten(upper)
+		p.Send(g.Member(dst), tag, flat)
+		p.Send(g.Member(dst), tag+1, counts)
+		owned = owned[:mid-lo]
+		hi = mid
+	}
+	return append([]sortutil.Key(nil), owned[0]...)
+}
+
+// Gather is the inverse of Scatter: every member contributes mine, and
+// the root returns all shares in rank order (others return nil). The
+// same halving tree runs in reverse, so the root drains O(M) keys over
+// O(log P) messages.
+func Gather(p *machine.Proc, g *Group, root int, tag machine.Tag, mine []sortutil.Key) [][]sortutil.Key {
+	self := rankOfProc(p, g)
+	pSize := g.Size()
+	vr := (self - root + pSize) % pSize
+
+	owned := [][]sortutil.Key{append([]sortutil.Key(nil), mine...)}
+	lo, hi := vr, vr+1
+	// Receive subtree blocks in ascending round order (mirror of the
+	// scatter's descending splits): rank r owns ranges whose bases are
+	// r + 2^j for each zero bit j of r below its highest set bit... in
+	// practice: collect from children dst = vr | 1<<j while that child
+	// base is in range and vr's bit j is zero.
+	for j := 0; j < nextPow2Exp(pSize); j++ {
+		if vr&(1<<j) != 0 {
+			break // ranks above this node's lowest set bit are not children
+		}
+		childBase := vr | 1<<j
+		if childBase >= pSize || childBase < hi {
+			continue
+		}
+		src := (childBase + root) % pSize
+		flat := p.Recv(g.Member(src), tag)
+		counts := p.Recv(g.Member(src), tag+1)
+		owned = append(owned, unflatten(flat, counts)...)
+		hi = lo + len(owned)
+	}
+	if vr != 0 {
+		dst := (clearLowestBit(vr) + root) % pSize
+		flat, counts := flatten(owned)
+		p.Send(g.Member(dst), tag, flat)
+		p.Send(g.Member(dst), tag+1, counts)
+		return nil
+	}
+	// Root: rotate back to group rank order.
+	out := make([][]sortutil.Key, pSize)
+	for i, block := range owned {
+		out[(i+root)%pSize] = block
+	}
+	return out
+}
+
+// ReduceOp combines two partial values.
+type ReduceOp func(a, b int64) int64
+
+// Sum, Max and Min are the stock reduction operators.
+var (
+	Sum ReduceOp = func(a, b int64) int64 { return a + b }
+	Max ReduceOp = func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min ReduceOp = func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce folds every member's value to the root rank with a binomial
+// tree; the root returns the reduction, others return their partial (the
+// value is meaningful only at the root). Values travel as single-key
+// messages, so a reduction costs O(log P) latency.
+func Reduce(p *machine.Proc, g *Group, root int, tag machine.Tag, value int64, op ReduceOp) int64 {
+	self := rankOfProc(p, g)
+	pSize := g.Size()
+	vr := (self - root + pSize) % pSize
+	acc := value
+	for j := 0; j < nextPow2Exp(pSize); j++ {
+		if vr&(1<<j) != 0 {
+			dst := (clearBit(vr, j) + root) % pSize
+			p.Send(g.Member(dst), tag, []sortutil.Key{sortutil.Key(acc)})
+			return acc
+		}
+		childBase := vr | 1<<j
+		if childBase < pSize {
+			got := p.Recv(g.Member((childBase+root)%pSize), tag)
+			acc = op(acc, int64(got[0]))
+			p.Compute(1)
+		}
+	}
+	return acc
+}
+
+// AllReduce folds every member's value and broadcasts the result back,
+// returning the full reduction on every member.
+func AllReduce(p *machine.Proc, g *Group, tag machine.Tag, value int64, op ReduceOp) int64 {
+	total := Reduce(p, g, 0, tag, value, op)
+	out := Broadcast(p, g, 0, tag+2, []sortutil.Key{sortutil.Key(total)})
+	return int64(out[0])
+}
+
+// flatten packs blocks into one payload plus a per-block length vector
+// (lengths ride as keys; the simulator prices them as one extra key each,
+// a fair stand-in for a small header).
+func flatten(blocks [][]sortutil.Key) (flat, counts []sortutil.Key) {
+	for _, b := range blocks {
+		counts = append(counts, sortutil.Key(len(b)))
+		flat = append(flat, b...)
+	}
+	return flat, counts
+}
+
+// unflatten is the inverse of flatten.
+func unflatten(flat, counts []sortutil.Key) [][]sortutil.Key {
+	out := make([][]sortutil.Key, len(counts))
+	off := 0
+	for i, c := range counts {
+		n := int(c)
+		out[i] = append([]sortutil.Key(nil), flat[off:off+n]...)
+		off += n
+	}
+	return out
+}
+
+// highestBit returns the index of v's highest set bit; v must be > 0.
+func highestBit(v int) int {
+	h := 0
+	for v > 1 {
+		v >>= 1
+		h++
+	}
+	return h
+}
+
+// clearBit clears bit h of v.
+func clearBit(v, h int) int { return v &^ (1 << h) }
+
+// clearLowestBit clears the lowest set bit of v; v must be > 0.
+func clearLowestBit(v int) int { return v & (v - 1) }
+
+// nextPow2Exp returns the smallest e with 2^e >= n.
+func nextPow2Exp(n int) int {
+	e := 0
+	for 1<<e < n {
+		e++
+	}
+	return e
+}
+
+// nextRangeSplit returns the size of the lower part when a range of the
+// given size splits: the largest power of two strictly less than size
+// (so the upper part's base is rank-aligned for the binomial tree).
+func nextRangeSplit(size int) int {
+	s := 1
+	for s*2 < size {
+		s *= 2
+	}
+	return s
+}

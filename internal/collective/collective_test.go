@@ -1,0 +1,265 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroup([]cube.NodeID{1, 2, 1}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	g, err := NewGroup([]cube.NodeID{5, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 || g.Member(1) != 3 {
+		t.Error("group accessors wrong")
+	}
+	if r, ok := g.RankOf(7); !ok || r != 2 {
+		t.Error("RankOf wrong")
+	}
+	if _, ok := g.RankOf(9); ok {
+		t.Error("non-member has a rank")
+	}
+}
+
+func TestMustGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGroup did not panic")
+		}
+	}()
+	MustGroup(nil)
+}
+
+// groups returns interesting participant sets on Q_4: full cube
+// (power-of-two), ragged sizes, scattered addresses.
+func testGroups() [][]cube.NodeID {
+	return [][]cube.NodeID{
+		{0},
+		{3, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{0, 1, 2, 3, 4},          // ragged P=5
+		{15, 3, 8, 1, 12, 6, 10}, // scattered, ragged P=7
+		{2, 4, 6, 8, 10, 12},     // P=6
+	}
+}
+
+func TestBroadcastAllRootsAllGroups(t *testing.T) {
+	payload := []sortutil.Key{11, 22, 33}
+	for _, members := range testGroups() {
+		g := MustGroup(members)
+		for root := 0; root < g.Size(); root++ {
+			m := machine.MustNew(machine.Config{Dim: 4})
+			var mu sync.Mutex
+			got := make(map[cube.NodeID][]sortutil.Key)
+			_, err := m.Run(members, func(p *machine.Proc) error {
+				var in []sortutil.Key
+				if r, _ := g.RankOf(p.ID()); r == root {
+					in = payload
+				}
+				out := Broadcast(p, g, root, 1, in)
+				mu.Lock()
+				got[p.ID()] = out
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("members=%v root=%d: %v", members, root, err)
+			}
+			for id, out := range got {
+				if len(out) != len(payload) {
+					t.Fatalf("members=%v root=%d node=%d: got %v", members, root, id, out)
+				}
+				for i := range payload {
+					if out[i] != payload[i] {
+						t.Fatalf("members=%v root=%d node=%d: got %v", members, root, id, out)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	for _, members := range testGroups() {
+		g := MustGroup(members)
+		for root := 0; root < g.Size(); root++ {
+			// Ragged shares: rank i gets i+1 keys.
+			shares := make([][]sortutil.Key, g.Size())
+			for i := range shares {
+				shares[i] = workload.MustGenerate(workload.Uniform, i+1, rng)
+			}
+			m := machine.MustNew(machine.Config{Dim: 4})
+			var mu sync.Mutex
+			received := make(map[int][]sortutil.Key)
+			var gathered [][]sortutil.Key
+			_, err := m.Run(members, func(p *machine.Proc) error {
+				r, _ := g.RankOf(p.ID())
+				var in [][]sortutil.Key
+				if r == root {
+					in = shares
+				}
+				mine := Scatter(p, g, root, 1, in)
+				mu.Lock()
+				received[r] = mine
+				mu.Unlock()
+				out := Gather(p, g, root, 10, mine)
+				if r == root {
+					mu.Lock()
+					gathered = out
+					mu.Unlock()
+				} else if out != nil {
+					t.Error("non-root Gather returned data")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("members=%v root=%d: %v", members, root, err)
+			}
+			for r := 0; r < g.Size(); r++ {
+				if !equalKeys(received[r], shares[r]) {
+					t.Fatalf("members=%v root=%d rank=%d: scatter got %v want %v",
+						members, root, r, received[r], shares[r])
+				}
+				if !equalKeys(gathered[r], shares[r]) {
+					t.Fatalf("members=%v root=%d rank=%d: gather got %v want %v",
+						members, root, r, gathered[r], shares[r])
+				}
+			}
+		}
+	}
+}
+
+func equalKeys(a, b []sortutil.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReduceOps(t *testing.T) {
+	for _, members := range testGroups() {
+		g := MustGroup(members)
+		m := machine.MustNew(machine.Config{Dim: 4})
+		var mu sync.Mutex
+		results := map[string]int64{}
+		_, err := m.Run(members, func(p *machine.Proc) error {
+			r, _ := g.RankOf(p.ID())
+			v := int64(r + 1)
+			sum := Reduce(p, g, 0, 1, v, Sum)
+			mx := Reduce(p, g, 0, 4, v, Max)
+			mn := Reduce(p, g, 0, 7, v, Min)
+			if r == 0 {
+				mu.Lock()
+				results["sum"], results["max"], results["min"] = sum, mx, mn
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("members=%v: %v", members, err)
+		}
+		pSize := int64(g.Size())
+		if results["sum"] != pSize*(pSize+1)/2 {
+			t.Errorf("members=%v: sum = %d", members, results["sum"])
+		}
+		if results["max"] != pSize || results["min"] != 1 {
+			t.Errorf("members=%v: max/min = %d/%d", members, results["max"], results["min"])
+		}
+	}
+}
+
+func TestAllReduceAgreesEverywhere(t *testing.T) {
+	members := []cube.NodeID{15, 3, 8, 1, 12, 6, 10}
+	g := MustGroup(members)
+	m := machine.MustNew(machine.Config{Dim: 4})
+	var mu sync.Mutex
+	got := map[cube.NodeID]int64{}
+	_, err := m.Run(members, func(p *machine.Proc) error {
+		r, _ := g.RankOf(p.ID())
+		total := AllReduce(p, g, 1, int64(r*r), Sum)
+		mu.Lock()
+		got[p.ID()] = total
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0 + 1 + 4 + 9 + 16 + 25 + 36)
+	for id, v := range got {
+		if v != want {
+			t.Errorf("node %d: AllReduce = %d, want %d", id, v, want)
+		}
+	}
+}
+
+// TestScatterLogarithmicDepth checks the tree actually halves: the root
+// of a 16-member scatter sends only ceil(log2 16) = 4 flat messages (plus
+// 4 count messages), not 15.
+func TestScatterLogarithmicDepth(t *testing.T) {
+	members := make([]cube.NodeID, 16)
+	for i := range members {
+		members[i] = cube.NodeID(i)
+	}
+	g := MustGroup(members)
+	m := machine.MustNew(machine.Config{Dim: 4})
+	shares := make([][]sortutil.Key, 16)
+	for i := range shares {
+		shares[i] = []sortutil.Key{sortutil.Key(i)}
+	}
+	res, err := m.Run(members, func(p *machine.Proc) error {
+		r, _ := g.RankOf(p.ID())
+		var in [][]sortutil.Key
+		if r == 0 {
+			in = shares
+		}
+		Scatter(p, g, 0, 1, in)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-leaf edge carries 2 messages (flat + counts); a binomial
+	// tree over 16 ranks has 15 edges -> 30 messages total.
+	if res.Messages != 30 {
+		t.Errorf("total messages = %d, want 30", res.Messages)
+	}
+}
+
+func TestCollectiveHelperFunctions(t *testing.T) {
+	if highestBit(1) != 0 || highestBit(5) != 2 || highestBit(8) != 3 {
+		t.Error("highestBit wrong")
+	}
+	if clearLowestBit(6) != 4 || clearLowestBit(8) != 0 {
+		t.Error("clearLowestBit wrong")
+	}
+	if nextPow2Exp(1) != 0 || nextPow2Exp(5) != 3 || nextPow2Exp(8) != 3 {
+		t.Error("nextPow2Exp wrong")
+	}
+	if nextRangeSplit(2) != 1 || nextRangeSplit(3) != 2 || nextRangeSplit(6) != 4 || nextRangeSplit(8) != 4 {
+		t.Error("nextRangeSplit wrong")
+	}
+	flat, counts := flatten([][]sortutil.Key{{1, 2}, {}, {3}})
+	back := unflatten(flat, counts)
+	if len(back) != 3 || len(back[0]) != 2 || len(back[1]) != 0 || back[2][0] != 3 {
+		t.Errorf("flatten round trip wrong: %v", back)
+	}
+}

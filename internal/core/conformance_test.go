@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// TestConformanceMatrix is the exhaustive cross-product check: every cube
+// size in the paper's range x every fault count x both fault models x
+// both wire protocols x several workload shapes, each verified as a
+// sorted permutation. It is the suite's single widest net (hundreds of
+// configurations) and is skipped under -short.
+func TestConformanceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance matrix")
+	}
+	r := xrand.New(2026)
+	kinds := []workload.Kind{workload.Uniform, workload.FewDistinct, workload.NearlySorted}
+	for _, n := range []int{3, 4, 5, 6} {
+		for nf := 0; nf < n; nf++ {
+			faults := cube.NewNodeSet()
+			for _, f := range r.Sample(1<<n, nf) {
+				faults.Add(cube.NodeID(f))
+			}
+			plan, err := partition.BuildPlan(n, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, model := range []machine.FaultModel{machine.Partial, machine.Total} {
+				for _, proto := range []bitonic.Protocol{bitonic.FullBlock, bitonic.HalfExchange} {
+					for _, kind := range kinds {
+						name := fmt.Sprintf("n=%d/r=%d/%s/%s/%s", n, nf, model, proto, kind)
+						t.Run(name, func(t *testing.T) {
+							m, err := machine.New(machine.Config{Dim: n, Faults: faults, Model: model})
+							if err != nil {
+								t.Fatal(err)
+							}
+							mKeys := 3*(1<<n) + r.IntN(100)
+							keys := workload.MustGenerate(kind, mKeys, r)
+							sorted, res, err := FTSortOpt(m, plan, keys, Options{Protocol: proto})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !sortutil.IsSorted(sorted, sortutil.Ascending) {
+								t.Fatal("output not sorted")
+							}
+							if !sortutil.SameMultiset(sorted, keys) {
+								t.Fatal("output not a permutation")
+							}
+							if mKeys > 0 && res.Makespan <= 0 {
+								t.Fatal("no cost accounted")
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceQ7 pushes one size past the paper's largest machine:
+// Q_7 (128 processors) with 6 faults, still correct and still bounded by
+// the N/4 dangling guarantee.
+func TestConformanceQ7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-goroutine run")
+	}
+	r := xrand.New(7)
+	faults := cube.NewNodeSet()
+	for _, f := range r.Sample(128, 6) {
+		faults.Add(cube.NodeID(f))
+	}
+	plan, err := partition.BuildPlan(7, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Dangling) > 128/4 {
+		t.Fatalf("%d dangling > N/4", len(plan.Dangling))
+	}
+	m := machine.MustNew(machine.Config{Dim: 7, Faults: faults})
+	keys := workload.MustGenerate(workload.Uniform, 6400, r)
+	sorted, _, err := FTSort(m, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortutil.IsSorted(sorted, sortutil.Ascending) || !sortutil.SameMultiset(sorted, keys) {
+		t.Fatal("Q_7 sort wrong")
+	}
+}

@@ -1,0 +1,258 @@
+// Package core implements the paper's fault-tolerant sorting algorithm
+// (§3, Steps 1-8): sorting M keys on an n-dimensional hypercube with up
+// to n-1 known faulty processors, by partitioning the cube into the
+// single-fault subcube structure F_n^m, running the §2.1 single-fault
+// bitonic sort inside each subcube, and merging across subcubes with a
+// bitonic-like network that treats every subcube as one node of a Q_m.
+//
+// The steps map onto the code as follows:
+//
+//	Step 1 (reindex)      — partition.Plan.DeadW + bitonic.SubcubeView's
+//	                        Pivot put each subcube's dead processor at
+//	                        logical address 0.
+//	Step 2 (distribute)   — workload.Distribute over the N' working
+//	                        processors in (subcube, logical) order.
+//	Step 3 (local+intra)  — bitonic.Ctx.SortView per subcube, ascending
+//	                        iff the subcube address v is even.
+//	Steps 4-6 (loops)     — the i/j double loop over subcube dimensions.
+//	Step 7 (cross)        — Ctx.ExchangeSplit with the same-logical
+//	                        processor of the dimension-j neighbor
+//	                        subcube; keep the smaller keys iff
+//	                        mask == v_j (mask = bit i+1 of v).
+//	Step 8 (re-sort)      — Ctx.MergeView (the full s(s+1)/2-step
+//	                        bitonic network), ascending iff
+//	                        v_{j-1} == mask (v_{-1} = 0), so the next
+//	                        exchange always pairs an ascending subcube
+//	                        with a descending one — the discipline that
+//	                        makes the chunk-wise exchange an exact
+//	                        subcube-level compare-split.
+//
+// Step 8 must be the full re-sort, not just a bitonic merge: although the
+// block after a compare-split is bitonic across the subcube, the dead
+// processor at logical 0 behaves as the extreme sentinel of whatever
+// direction the next operation runs in, and the bitonic profile's
+// extreme-valued end does not in general sit at logical 0. The full
+// network sorts unconditionally, which is exactly why the paper's skip
+// rule is safe; see DESIGN.md ("Known deviations") for the analysis.
+package core
+
+import (
+	"fmt"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/collective"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+)
+
+// FTSort sorts keys ascending on machine m according to plan, returning
+// the sorted keys (in the subcubes' address order, gathered) and the
+// simulated run cost. The plan must have been built for the same fault
+// set the machine carries; mismatches are rejected because a kernel
+// scheduled on a processor the machine considers faulty would be a silent
+// lie about the hardware.
+func FTSort(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key) ([]sortutil.Key, machine.Result, error) {
+	return FTSortOpt(m, plan, keys, Options{})
+}
+
+// Options tunes algorithm variants.
+type Options struct {
+	// Protocol selects the compare-exchange wire protocol: the default
+	// full-block swap, or the paper's literal two-round half-exchange
+	// (Step 7(a)-(c)). Both move the same key volume; see the protocol
+	// ablation in EXPERIMENTS.md.
+	Protocol bitonic.Protocol
+	// AccountDistribution includes the paper's Step 2 (and the final
+	// collection) in the simulated time: keys are scattered from a host
+	// processor (the first working processor) over a binomial tree
+	// before sorting and gathered back afterwards. The paper's cost
+	// model excludes this phase; turning it on measures what that
+	// exclusion hides (distribution ablation in EXPERIMENTS.md).
+	AccountDistribution bool
+	// StepHook, if non-nil, receives every processor's chunk at each
+	// algorithm checkpoint (after Step 3, after each Step 7 exchange,
+	// after each Step 8 re-sort) — the programmatic form of the paper's
+	// Figure 6 walkthrough. Called concurrently; see StateRecorder.
+	StepHook StepHook
+}
+
+// Collective tags live far above the bitonic context's counter so the
+// scatter/gather phases can never collide with sort-phase messages.
+const (
+	scatterTag machine.Tag = 1 << 30
+	gatherTag  machine.Tag = 1<<30 + 8
+)
+
+// FTSortOpt is FTSort with explicit algorithm options.
+func FTSortOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, opts Options) ([]sortutil.Key, machine.Result, error) {
+	if plan.Cube.Dim() != m.Cube().Dim() {
+		return nil, machine.Result{}, fmt.Errorf("core: plan for Q_%d used on Q_%d", plan.Cube.Dim(), m.Cube().Dim())
+	}
+	for f := range m.Faults() {
+		if !plan.Faults.Has(f) {
+			return nil, machine.Result{}, fmt.Errorf("core: machine fault %d missing from plan", f)
+		}
+	}
+	for f := range plan.Faults {
+		if !m.Faults().Has(f) {
+			return nil, machine.Result{}, fmt.Errorf("core: plan fault %d not faulty on machine", f)
+		}
+	}
+
+	layout := NewLayout(plan)
+	shares, err := workload.Distribute(keys, len(layout.Working))
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	out := make([][]sortutil.Key, len(layout.Working))
+	group, err := collective.NewGroup(layout.Working)
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	res, err := m.Run(layout.Working, func(p *machine.Proc) error {
+		slot := layout.SlotOf[p.ID()]
+		share := sortutil.Clone(shares[slot])
+		if opts.AccountDistribution {
+			var all [][]sortutil.Key
+			if slot == 0 {
+				all = shares
+			}
+			share = collective.Scatter(p, group, 0, scatterTag, all)
+		}
+		chunk := kernel(p, layout, share, opts)
+		if opts.AccountDistribution {
+			collected := collective.Gather(p, group, 0, gatherTag, chunk)
+			if slot == 0 {
+				copy(out, collected)
+			}
+			return nil
+		}
+		out[slot] = chunk
+		return nil
+	})
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	gathered := make([]sortutil.Key, 0, len(keys))
+	for _, chunk := range out {
+		gathered = append(gathered, chunk...)
+	}
+	return sortutil.StripInf(gathered), res, nil
+}
+
+// Layout is the precomputed placement the kernels share: every subcube's
+// view and the global distribution order of working processors.
+type Layout struct {
+	Plan *partition.Plan
+	// Views[v] is subcube v's bitonic view (dead processor at logical 0).
+	Views []bitonic.View
+	// Working lists the N' working processors in (subcube address,
+	// logical address) order — the order keys are distributed and
+	// gathered in, so ascending output lands in the subcubes' address
+	// order as Step 2 requires.
+	Working []cube.NodeID
+	// SlotOf inverts Working.
+	SlotOf map[cube.NodeID]int
+}
+
+// NewLayout materializes the views and distribution order for a plan.
+func NewLayout(plan *partition.Plan) *Layout {
+	h := plan.Cube
+	sp := plan.Split
+	l := &Layout{
+		Plan:   plan,
+		Views:  make([]bitonic.View, sp.NumSubcubes()),
+		SlotOf: make(map[cube.NodeID]int, plan.Working()),
+	}
+	for v := 0; v < sp.NumSubcubes(); v++ {
+		sc := sp.SubcubeOf(cube.NodeID(v))
+		if plan.HasDead {
+			deadW := plan.DeadW[v]
+			l.Views[v] = bitonic.SubcubeView(h, sc, &deadW)
+		} else {
+			l.Views[v] = bitonic.SubcubeView(h, sc, nil)
+		}
+		for _, phys := range l.Views[v].LivePhys() {
+			l.SlotOf[phys] = len(l.Working)
+			l.Working = append(l.Working, phys)
+		}
+	}
+	return l
+}
+
+// kernel is the SPMD program of one working processor. It returns the
+// processor's final chunk (sorted ascending).
+func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options) []sortutil.Key {
+	sp := l.Plan.Split
+	v := sp.V(p.ID())
+	myView := l.Views[v]
+	t := myView.Logical(p.ID())
+	ctx := bitonic.NewCtx(p, myView, share)
+	ctx.Protocol = opts.Protocol
+
+	// Step 3: local heapsort + intra-subcube bitonic sort, ascending iff
+	// the subcube address is even.
+	ctx.SortView(myView, dirFor(cube.Bit(v, 0) == 0))
+	if opts.StepHook != nil {
+		opts.StepHook(StepEvent{Stage: StageAfterLocalAndIntra, J: -1, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
+	}
+
+	// Steps 4-8: bitonic-like merge across subcubes.
+	mDims := sp.M()
+	for i := 0; i < mDims; i++ {
+		mask := cube.Bit(v, i+1) // Step 5; bit m of v is 0 (v < 2^m)
+		for j := i; j >= 0; j-- {
+			// Step 7: compare-exchange with the corresponding reindexed
+			// processor of the dimension-j neighbor subcube.
+			peerView := l.Views[sp.NeighborSubcube(v, j)]
+			peer := peerView.Phys(t)
+			keepLow := mask == cube.Bit(v, j)
+			ctx.ExchangeSplit(peer, keepLow)
+			if opts.StepHook != nil {
+				opts.StepHook(StepEvent{Stage: StageAfterExchange, I: i, J: j, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
+			}
+			// Step 8: re-sort the subcube; ascending iff v_{j-1} == mask
+			// (v_{-1} taken as 0) so the next pairing is asc-vs-desc.
+			prev := 0
+			if j > 0 {
+				prev = cube.Bit(v, j-1)
+			}
+			ctx.MergeView(myView, dirFor(prev == mask))
+			if opts.StepHook != nil {
+				opts.StepHook(StepEvent{Stage: StageAfterResort, I: i, J: j, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
+			}
+		}
+	}
+	return ctx.Chunk
+}
+
+// dirFor translates the paper's even/odd and mask conditions into a sort
+// direction.
+func dirFor(ascending bool) sortutil.Direction {
+	if ascending {
+		return sortutil.Ascending
+	}
+	return sortutil.Descending
+}
+
+// SortOnFaultyCube is the one-call convenience: build the partition plan
+// for the fault set, build the machine, and run FTSort. It returns the
+// plan alongside so callers can inspect the partition decisions.
+func SortOnFaultyCube(n int, faults cube.NodeSet, model machine.FaultModel, cost machine.CostModel, keys []sortutil.Key) ([]sortutil.Key, *partition.Plan, machine.Result, error) {
+	plan, err := partition.BuildPlan(n, faults)
+	if err != nil {
+		return nil, nil, machine.Result{}, err
+	}
+	m, err := machine.New(machine.Config{Dim: n, Faults: faults, Model: model, Cost: cost})
+	if err != nil {
+		return nil, nil, machine.Result{}, err
+	}
+	sorted, res, err := FTSort(m, plan, keys)
+	if err != nil {
+		return nil, nil, machine.Result{}, err
+	}
+	return sorted, plan, res, nil
+}

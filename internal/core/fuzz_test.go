@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+)
+
+// FuzzFTSort drives the full fault-tolerant sort with fuzzer-chosen
+// machine size, fault placement, and keys: any input for which a plan is
+// buildable must produce a sorted permutation. Run with
+// `go test -fuzz=FuzzFTSort ./internal/core` for continuous fuzzing; the
+// seed corpus below executes under plain `go test`.
+func FuzzFTSort(f *testing.F) {
+	f.Add(uint8(3), uint16(0b0000_0101), []byte{9, 1, 8, 1, 7, 250, 3})
+	f.Add(uint8(4), uint16(0b1000_0000_0000_0001), []byte{5, 5, 5, 5})
+	f.Add(uint8(2), uint16(0), []byte{})
+	f.Add(uint8(5), uint16(0b10), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, dimRaw uint8, faultBits uint16, raw []byte) {
+		n := int(dimRaw)%4 + 2 // Q_2..Q_5
+		size := 1 << n
+		faults := cube.NewNodeSet()
+		for b := 0; b < 16 && b < size; b++ {
+			if faultBits>>uint(b)&1 == 1 {
+				faults.Add(cube.NodeID(b))
+			}
+		}
+		if len(faults) >= size {
+			return // nothing can work
+		}
+		plan, err := partition.BuildPlan(n, faults)
+		if err != nil {
+			return // unseparable fault set: a legitimate refusal
+		}
+		m, err := machine.New(machine.Config{Dim: n, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]sortutil.Key, len(raw))
+		for i, b := range raw {
+			keys[i] = sortutil.Key(b)
+		}
+		sorted, _, err := FTSort(m, plan, keys)
+		if err != nil {
+			t.Fatalf("n=%d faults=%v: %v", n, faults.Sorted(), err)
+		}
+		if !sortutil.IsSorted(sorted, sortutil.Ascending) {
+			t.Fatalf("n=%d faults=%v: not sorted", n, faults.Sorted())
+		}
+		if !sortutil.SameMultiset(sorted, keys) {
+			t.Fatalf("n=%d faults=%v: not a permutation", n, faults.Sorted())
+		}
+	})
+}

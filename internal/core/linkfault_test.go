@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// TestFTSortWithLinkFaults exercises the broader fault model the paper's
+// introduction names ("faulty processors/links"): dead links force
+// detours but never break correctness, since the algorithm's message
+// pattern is address-based and the router is complete.
+func TestFTSortWithLinkFaults(t *testing.T) {
+	r := xrand.New(31)
+	for _, n := range []int{3, 4, 5} {
+		h := cube.New(n)
+		for trial := 0; trial < 8; trial++ {
+			// Up to n-1 dead links (edge connectivity bound) plus up to
+			// n-2 faulty processors.
+			links := cube.NewEdgeSet()
+			for len(links) < 1+r.IntN(n-1) {
+				a := cube.NodeID(r.IntN(h.Size()))
+				links.Add(a, h.Neighbor(a, r.IntN(n)))
+			}
+			nf := r.IntN(n - 1)
+			faults := cube.NewNodeSet()
+			for _, f := range r.Sample(h.Size(), nf) {
+				faults.Add(cube.NodeID(f))
+			}
+			plan, err := partition.BuildPlan(n, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := machine.New(machine.Config{Dim: n, Faults: faults, LinkFaults: links})
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := workload.MustGenerate(workload.Uniform, 4*(1<<n)+r.IntN(40), r)
+			sorted, res, err := FTSort(m, plan, keys)
+			if err != nil {
+				t.Fatalf("n=%d faults=%v links=%v: %v", n, faults.Sorted(), links.Sorted(), err)
+			}
+			if !sortutil.IsSorted(sorted, sortutil.Ascending) || !sortutil.SameMultiset(sorted, keys) {
+				t.Fatalf("n=%d: wrong result under link faults", n)
+			}
+			if res.Makespan <= 0 {
+				t.Fatal("no time accounted")
+			}
+		}
+	}
+}
+
+// TestLinkFaultsInflateCost: the same sort with dead links must cost at
+// least as much as without (detours only add hops).
+func TestLinkFaultsInflateCost(t *testing.T) {
+	r := xrand.New(32)
+	keys := workload.MustGenerate(workload.Uniform, 600, r)
+	plan, err := partition.BuildPlan(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := machine.MustNew(machine.Config{Dim: 4})
+	_, resClean, err := FTSort(clean, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := cube.NewEdgeSet(cube.NewEdge(0, 1), cube.NewEdge(5, 7), cube.NewEdge(8, 12))
+	degraded := machine.MustNew(machine.Config{Dim: 4, LinkFaults: links})
+	_, resLinks, err := FTSort(degraded, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLinks.KeyHops < resClean.KeyHops {
+		t.Errorf("link faults reduced traffic: %d vs %d", resLinks.KeyHops, resClean.KeyHops)
+	}
+	if resLinks.Makespan < resClean.Makespan {
+		t.Errorf("link faults reduced makespan: %d vs %d", resLinks.Makespan, resClean.Makespan)
+	}
+}
+
+// TestMachineRejectsLinkFaultOutsideCube covers the validation path.
+func TestMachineRejectsLinkFaultOutsideCube(t *testing.T) {
+	links := cube.NewEdgeSet(cube.NewEdge(8, 9)) // valid edge, outside Q_3
+	if _, err := machine.New(machine.Config{Dim: 3, LinkFaults: links}); err == nil {
+		t.Error("out-of-cube link fault accepted")
+	}
+}
+
+// TestFTSortLinkFaultsTotalModel combines dead links with totally dead
+// processors.
+func TestFTSortLinkFaultsTotalModel(t *testing.T) {
+	r := xrand.New(33)
+	faults := cube.NewNodeSet(5)
+	links := cube.NewEdgeSet(cube.NewEdge(0, 2), cube.NewEdge(9, 11))
+	plan, err := partition.BuildPlan(4, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Dim: 4, Faults: faults, LinkFaults: links, Model: machine.Total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.MustGenerate(workload.Uniform, 300, r)
+	sorted, _, err := FTSort(m, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortutil.IsSorted(sorted, sortutil.Ascending) || !sortutil.SameMultiset(sorted, keys) {
+		t.Fatal("wrong result under combined node+link faults (total model)")
+	}
+}

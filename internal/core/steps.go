@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+// Stage names a checkpoint in the fault-tolerant sort, mirroring the
+// paper's step numbering (its Figure 6 walks exactly these states).
+type Stage uint8
+
+const (
+	// StageAfterLocalAndIntra is the paper's Figure 6(b): Step 3
+	// complete, every subcube sorted ascending/descending by its address
+	// parity.
+	StageAfterLocalAndIntra Stage = iota
+	// StageAfterExchange is Figure 6(c)/(e)/(g): a Step 7 cross-subcube
+	// compare-exchange just finished (chunks hold the kept halves).
+	StageAfterExchange
+	// StageAfterResort is Figure 6(d)/(f)/(h): the Step 8 re-sort after
+	// that exchange finished.
+	StageAfterResort
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageAfterLocalAndIntra:
+		return "after-step-3"
+	case StageAfterExchange:
+		return "after-step-7"
+	case StageAfterResort:
+		return "after-step-8"
+	}
+	return "unknown"
+}
+
+// StepEvent is one processor's state at a checkpoint.
+type StepEvent struct {
+	Stage Stage
+	// I and J are the Step 4/6 loop indices (0 and -1 for the Step 3
+	// checkpoint).
+	I, J int
+	// Node is the physical processor, V its subcube address, T its
+	// reindexed logical address.
+	Node, V, T cube.NodeID
+	// Chunk is a copy of the processor's keys (sorted ascending).
+	Chunk []sortutil.Key
+}
+
+// StepHook receives every processor's state at every checkpoint. Hooks
+// run concurrently on the kernel goroutines and must be safe for
+// concurrent use; StateRecorder is the stock implementation.
+type StepHook func(StepEvent)
+
+// StateRecorder collects step events and reconstructs whole-machine
+// snapshots, the programmatic equivalent of the paper's Figure 6 panels.
+type StateRecorder struct {
+	mu     sync.Mutex
+	events []StepEvent
+}
+
+// NewStateRecorder returns an empty recorder.
+func NewStateRecorder() *StateRecorder { return &StateRecorder{} }
+
+// Record implements StepHook.
+func (r *StateRecorder) Record(ev StepEvent) {
+	ev.Chunk = sortutil.Clone(ev.Chunk)
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Snapshot is the machine state at one checkpoint: every working
+// processor's chunk, keyed by (subcube, logical address).
+type Snapshot struct {
+	Stage Stage
+	I, J  int
+	// Chunks[v][t] is the chunk of logical processor t in subcube v
+	// (dead logicals are absent).
+	Chunks map[cube.NodeID]map[cube.NodeID][]sortutil.Key
+}
+
+// key orders snapshots chronologically: step 3 first, then each (i, j)
+// exchange before its re-sort.
+func (s *Snapshot) key() int {
+	if s.Stage == StageAfterLocalAndIntra {
+		return -1
+	}
+	// Exchanges at (i, j) happen in order of increasing i, decreasing j.
+	seq := 0
+	for i := 0; i < s.I; i++ {
+		seq += i + 1
+	}
+	seq += s.I - s.J
+	k := seq * 2
+	if s.Stage == StageAfterResort {
+		k++
+	}
+	return k
+}
+
+// Snapshots groups the recorded events into chronological machine
+// snapshots.
+func (r *StateRecorder) Snapshots() []*Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byKey := make(map[int]*Snapshot)
+	for _, ev := range r.events {
+		s := &Snapshot{Stage: ev.Stage, I: ev.I, J: ev.J}
+		existing, ok := byKey[s.key()]
+		if !ok {
+			s.Chunks = make(map[cube.NodeID]map[cube.NodeID][]sortutil.Key)
+			byKey[s.key()] = s
+			existing = s
+		}
+		row := existing.Chunks[ev.V]
+		if row == nil {
+			row = make(map[cube.NodeID][]sortutil.Key)
+			existing.Chunks[ev.V] = row
+		}
+		row[ev.T] = ev.Chunk
+	}
+	out := make([]*Snapshot, 0, len(byKey))
+	for _, s := range byKey {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// SubcubeKeys returns subcube v's keys concatenated in ascending logical
+// order (each chunk is internally ascending).
+func (s *Snapshot) SubcubeKeys(v cube.NodeID) []sortutil.Key {
+	row := s.Chunks[v]
+	ts := make([]cube.NodeID, 0, len(row))
+	for t := range row {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	var out []sortutil.Key
+	for _, t := range ts {
+		out = append(out, row[t]...)
+	}
+	return out
+}
+
+// Format renders the snapshot compactly, one subcube per line with each
+// chunk bracketed — small inputs render like the paper's Figure 6.
+func (s *Snapshot) Format() string {
+	vs := make([]cube.NodeID, 0, len(s.Chunks))
+	for v := range s.Chunks {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := fmt.Sprintf("%s (i=%d, j=%d)\n", s.Stage, s.I, s.J)
+	for _, v := range vs {
+		row := s.Chunks[v]
+		ts := make([]cube.NodeID, 0, len(row))
+		for t := range row {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		out += fmt.Sprintf("  v=%d:", v)
+		for _, t := range ts {
+			out += fmt.Sprintf(" t%d%v", t, row[t])
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// recordRun sorts with a StateRecorder attached and returns the
+// chronological snapshots.
+func recordRun(t *testing.T, n int, faults cube.NodeSet, mKeys int, seed uint64) (*partition.Plan, []*Snapshot) {
+	t.Helper()
+	plan, err := partition.BuildPlan(n, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: n, Faults: faults})
+	keys := workload.MustGenerate(workload.Uniform, mKeys, xrand.New(seed))
+	rec := NewStateRecorder()
+	sorted, _, err := FTSortOpt(m, plan, keys, Options{StepHook: rec.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortutil.IsSorted(sorted, sortutil.Ascending) {
+		t.Fatal("final output not sorted")
+	}
+	return plan, rec.Snapshots()
+}
+
+// TestSnapshotCount checks the walkthrough has exactly the paper's
+// checkpoint structure: 1 (Step 3) + 2 per (i, j) iteration.
+func TestSnapshotCount(t *testing.T) {
+	faults := cube.NewNodeSet(3, 5, 16, 24) // m = 3 -> 6 exchanges
+	_, snaps := recordRun(t, 5, faults, 470, 1)
+	want := 1 + 2*6
+	if len(snaps) != want {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), want)
+	}
+	if snaps[0].Stage != StageAfterLocalAndIntra {
+		t.Error("first snapshot is not the Step 3 state")
+	}
+	// Exchange always precedes its re-sort, i ascending, j descending.
+	wantIdx := [][2]int{{0, 0}, {1, 1}, {1, 0}, {2, 2}, {2, 1}, {2, 0}}
+	for k, ij := range wantIdx {
+		ex, rs := snaps[1+2*k], snaps[2+2*k]
+		if ex.Stage != StageAfterExchange || ex.I != ij[0] || ex.J != ij[1] {
+			t.Fatalf("snapshot %d = %s (i=%d, j=%d)", 1+2*k, ex.Stage, ex.I, ex.J)
+		}
+		if rs.Stage != StageAfterResort || rs.I != ij[0] || rs.J != ij[1] {
+			t.Fatalf("snapshot %d = %s (i=%d, j=%d)", 2+2*k, rs.Stage, rs.I, rs.J)
+		}
+	}
+}
+
+// TestStep3Invariant: after Step 3 every subcube's block is sorted
+// ascending iff its address is even — the paper's Figure 6(b).
+func TestStep3Invariant(t *testing.T) {
+	r := xrand.New(2)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.IntN(2)
+		nf := 2 + r.IntN(n-2)
+		faults := cube.NewNodeSet()
+		for _, f := range r.Sample(1<<n, nf) {
+			faults.Add(cube.NodeID(f))
+		}
+		plan, snaps := recordRun(t, n, faults, 200+r.IntN(400), uint64(trial))
+		s := snaps[0]
+		for v := 0; v < plan.NumSubcubes(); v++ {
+			keys := s.SubcubeKeys(cube.NodeID(v))
+			dir := sortutil.Ascending
+			if v%2 == 1 {
+				dir = sortutil.Descending
+			}
+			if !blockSorted(s, cube.NodeID(v), dir) {
+				t.Fatalf("trial %d: subcube %d not %v after step 3: %v", trial, v, dir, keys)
+			}
+		}
+	}
+}
+
+// blockSorted reports whether subcube v's block is sorted in direction
+// dir ACROSS logical addresses: every key of chunk t precedes every key
+// of chunk t' > t in the direction (chunks themselves are stored
+// ascending either way).
+func blockSorted(s *Snapshot, v cube.NodeID, dir sortutil.Direction) bool {
+	row := s.Chunks[v]
+	ts := make([]cube.NodeID, 0, len(row))
+	for t := range row {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	var prevMax, prevMin *sortutil.Key
+	for _, t := range ts {
+		chunk := row[t]
+		if len(chunk) == 0 {
+			continue
+		}
+		lo, hi := chunk[0], chunk[len(chunk)-1]
+		if prevMax != nil {
+			if dir == sortutil.Ascending && lo < *prevMax {
+				return false
+			}
+			if dir == sortutil.Descending && hi > *prevMin {
+				return false
+			}
+		}
+		prevMax, prevMin = &hi, &lo
+	}
+	return true
+}
+
+// TestResortDirectionInvariant: after the Step 8 re-sort at (i, j),
+// every subcube's block is sorted ascending iff v_{j-1} == mask
+// (v_{-1} = 0) — the discipline that keeps the next exchange pairing an
+// ascending subcube with a descending one.
+func TestResortDirectionInvariant(t *testing.T) {
+	faults := cube.NewNodeSet(3, 5, 16, 24)
+	plan, snaps := recordRun(t, 5, faults, 470, 3)
+	for _, s := range snaps {
+		if s.Stage != StageAfterResort {
+			continue
+		}
+		for v := 0; v < plan.NumSubcubes(); v++ {
+			mask := cube.Bit(cube.NodeID(v), s.I+1)
+			prev := 0
+			if s.J > 0 {
+				prev = cube.Bit(cube.NodeID(v), s.J-1)
+			}
+			dir := sortutil.Descending
+			if prev == mask {
+				dir = sortutil.Ascending
+			}
+			if !blockSorted(s, cube.NodeID(v), dir) {
+				t.Fatalf("(i=%d, j=%d) subcube %d not %v", s.I, s.J, v, dir)
+			}
+		}
+	}
+}
+
+// TestWindowMonotoneInvariant: after phase i completes (the re-sort at
+// j = 0), every aligned window of 2^(i+1) subcubes is monotone across
+// subcube addresses — the supernode-level bitonic invariant. At the last
+// phase the single window covers the whole cube ascending.
+func TestWindowMonotoneInvariant(t *testing.T) {
+	faults := cube.NewNodeSet(3, 5, 16, 24)
+	plan, snaps := recordRun(t, 5, faults, 470, 4)
+	numSub := plan.NumSubcubes()
+	for _, s := range snaps {
+		if s.Stage != StageAfterResort || s.J != 0 {
+			continue
+		}
+		window := 1 << (s.I + 1)
+		for base := 0; base < numSub; base += window {
+			// Window direction: ascending iff bit i+1 of the base is 0.
+			asc := cube.Bit(cube.NodeID(base), s.I+1) == 0
+			var prev *sortutil.Key
+			for v := base; v < base+window; v++ {
+				keys := s.SubcubeKeys(cube.NodeID(v))
+				if len(keys) == 0 {
+					continue
+				}
+				lo, hi := keys[0], keys[len(keys)-1]
+				first, last := lo, hi
+				if !asc {
+					first, last = hi, lo
+				}
+				if prev != nil {
+					if asc && first < *prev {
+						t.Fatalf("phase %d window base %d: subcube %d breaks ascending order", s.I, base, v)
+					}
+					if !asc && first > *prev {
+						t.Fatalf("phase %d window base %d: subcube %d breaks descending order", s.I, base, v)
+					}
+				}
+				prev = &last
+			}
+		}
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	faults := cube.NewNodeSet(1)
+	_, snaps := recordRun(t, 2, faults, 9, 5)
+	out := snaps[0].Format()
+	if !strings.Contains(out, "after-step-3") || !strings.Contains(out, "v=0") {
+		t.Errorf("format output: %s", out)
+	}
+}
+
+// TestSubcubeKeysInternalOrder: chunks concatenate in logical order with
+// each chunk ascending.
+func TestSubcubeKeysInternalOrder(t *testing.T) {
+	faults := cube.NewNodeSet(2, 9)
+	_, snaps := recordRun(t, 4, faults, 120, 6)
+	last := snaps[len(snaps)-1]
+	for v := range last.Chunks {
+		for _, chunk := range last.Chunks[v] {
+			if !sortutil.IsSorted(chunk, sortutil.Ascending) {
+				t.Fatalf("chunk not internally ascending in final state")
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"hypersort/internal/collective"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+)
+
+// VerifyDistributed checks — on the machine itself, in parallel — that
+// the chunks laid out across the plan's working processors form a
+// globally ascending sequence in (subcube, logical) order. Each
+// processor validates its own chunk locally, exchanges boundary keys
+// with its successor in the layout, and the verdicts are AND-reduced;
+// total work is O(M/N' + log N') per processor versus the host's O(M)
+// for a sequential scan.
+//
+// This is the check a real deployment would run after a sort (collecting
+// all keys to one node just to verify would erase the parallel sort's
+// benefit). chunks must be indexed like Layout.Working; every working
+// processor's chunk must be present.
+func VerifyDistributed(m *machine.Machine, plan *partition.Plan, chunks [][]sortutil.Key) (bool, machine.Result, error) {
+	layout := NewLayout(plan)
+	if len(chunks) != len(layout.Working) {
+		return false, machine.Result{}, fmt.Errorf("core: %d chunks for %d working processors", len(chunks), len(layout.Working))
+	}
+	group, err := collective.NewGroup(layout.Working)
+	if err != nil {
+		return false, machine.Result{}, err
+	}
+	const (
+		boundaryTag machine.Tag = 1
+		reduceTag   machine.Tag = 2
+	)
+	verdicts := make([]bool, len(layout.Working))
+	res, err := m.Run(layout.Working, func(p *machine.Proc) error {
+		slot := layout.SlotOf[p.ID()]
+		mine := chunks[slot]
+		ok := sortutil.IsSorted(mine, sortutil.Ascending)
+		p.Compute(len(mine))
+
+		// Send my maximum to the next processor in layout order and
+		// check the predecessor's running maximum against my minimum.
+		// Non-empty chunks send immediately (all boundary exchanges run
+		// in parallel); an empty chunk must first learn the running
+		// maximum so the obligation passes through it intact.
+		hasNext := slot+1 < len(layout.Working)
+		if len(mine) > 0 {
+			if hasNext {
+				p.Send(layout.Working[slot+1], boundaryTag, []sortutil.Key{mine[len(mine)-1]})
+			}
+			if slot > 0 {
+				prev := p.Recv(layout.Working[slot-1], boundaryTag)
+				if prev[0] > mine[0] {
+					ok = false
+				}
+				p.Compute(1)
+			}
+		} else {
+			running := sortutil.NegInf
+			if slot > 0 {
+				running = p.Recv(layout.Working[slot-1], boundaryTag)[0]
+			}
+			if hasNext {
+				p.Send(layout.Working[slot+1], boundaryTag, []sortutil.Key{running})
+			}
+		}
+		verdict := int64(1)
+		if !ok {
+			verdict = 0
+		}
+		all := collective.AllReduce(p, group, reduceTag, verdict, collective.Min)
+		verdicts[slot] = all == 1
+		return nil
+	})
+	if err != nil {
+		return false, machine.Result{}, err
+	}
+	// AllReduce agrees everywhere; take slot 0's verdict.
+	return verdicts[0], res, nil
+}
+
+// boundaryNeighbors is a helper for tests: the layout-successor pairs the
+// verifier checks.
+func boundaryNeighbors(plan *partition.Plan) [][2]cube.NodeID {
+	l := NewLayout(plan)
+	var out [][2]cube.NodeID
+	for i := 1; i < len(l.Working); i++ {
+		out = append(out, [2]cube.NodeID{l.Working[i-1], l.Working[i]})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// sortedChunks produces a correctly sorted layout for a plan by running
+// the actual FT sort with a step recorder and taking the final chunks.
+func sortedChunks(t *testing.T, m *machine.Machine, plan *partition.Plan, mKeys int, seed uint64) [][]sortutil.Key {
+	t.Helper()
+	layout := NewLayout(plan)
+	keys := workload.MustGenerate(workload.Uniform, mKeys, xrand.New(seed))
+	chunks := make([][]sortutil.Key, len(layout.Working))
+	rec := NewStateRecorder()
+	if _, _, err := FTSortOpt(m, plan, keys, Options{StepHook: rec.Record}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := rec.Snapshots()
+	final := snaps[len(snaps)-1]
+	for v, row := range final.Chunks {
+		for tt, chunk := range row {
+			phys := NewLayout(plan).Views[v].Phys(tt)
+			chunks[layout.SlotOf[phys]] = chunk
+		}
+	}
+	// r <= 1 plans have no cross stage; the only snapshot is step 3,
+	// which is already the final state in that case.
+	return chunks
+}
+
+func TestVerifyDistributedAcceptsSortedLayout(t *testing.T) {
+	faults := cube.NewNodeSet(3, 5, 16, 24)
+	plan, err := partition.BuildPlan(5, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 5, Faults: faults})
+	chunks := sortedChunks(t, m, plan, 480, 1)
+	ok, res, err := VerifyDistributed(m, plan, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("correct layout rejected")
+	}
+	if res.Makespan <= 0 {
+		t.Error("verification cost not accounted")
+	}
+}
+
+func TestVerifyDistributedCatchesLocalDisorder(t *testing.T) {
+	faults := cube.NewNodeSet(2)
+	plan, err := partition.BuildPlan(3, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 3, Faults: faults})
+	chunks := sortedChunks(t, m, plan, 35, 2)
+	// Corrupt one chunk internally.
+	if len(chunks[3]) >= 2 {
+		chunks[3][0], chunks[3][1] = chunks[3][1]+1, chunks[3][0]
+	} else {
+		t.Fatal("chunk too small to corrupt")
+	}
+	ok, _, err := VerifyDistributed(m, plan, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("internal disorder accepted")
+	}
+}
+
+func TestVerifyDistributedCatchesBoundaryDisorder(t *testing.T) {
+	faults := cube.NewNodeSet(2)
+	plan, err := partition.BuildPlan(3, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 3, Faults: faults})
+	chunks := sortedChunks(t, m, plan, 35, 3)
+	// Swap two whole chunks: each stays internally sorted, but the
+	// boundary order breaks.
+	chunks[1], chunks[4] = chunks[4], chunks[1]
+	ok, _, err := VerifyDistributed(m, plan, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("boundary disorder accepted")
+	}
+}
+
+func TestVerifyDistributedEmptyChunksForward(t *testing.T) {
+	// An empty chunk must pass the running maximum through, so disorder
+	// across it is still caught.
+	plan, err := partition.BuildPlan(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 2})
+	chunks := [][]sortutil.Key{{5, 6}, {}, {1, 2}, {7}}
+	ok, _, err := VerifyDistributed(m, plan, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("disorder across an empty chunk accepted")
+	}
+	good := [][]sortutil.Key{{1, 2}, {}, {5, 6}, {7}}
+	ok, _, err = VerifyDistributed(m, plan, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("valid layout with empty chunk rejected")
+	}
+}
+
+func TestVerifyDistributedChunkCountMismatch(t *testing.T) {
+	plan, err := partition.BuildPlan(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 3})
+	if _, _, err := VerifyDistributed(m, plan, make([][]sortutil.Key, 3)); err == nil {
+		t.Error("wrong chunk count accepted")
+	}
+}
+
+func TestBoundaryNeighborsCoverLayout(t *testing.T) {
+	plan, err := partition.BuildPlan(4, cube.NewNodeSet(1, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := boundaryNeighbors(plan)
+	if len(pairs) != plan.Working()-1 {
+		t.Fatalf("got %d pairs, want %d", len(pairs), plan.Working()-1)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i][0] != pairs[i-1][1] {
+			t.Fatal("boundary chain broken")
+		}
+	}
+}

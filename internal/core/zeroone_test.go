@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+)
+
+// The 0-1 principle: a comparator-based sorting algorithm is correct iff
+// it sorts every sequence of zeros and ones. The distributed FT sort is
+// built from compare-splits (merge-based comparators on blocks), so
+// exhausting all 0-1 inputs on small machines is a complete correctness
+// proof for those configurations — far stronger evidence than random
+// keys, because 0-1 inputs hit every comparator decision boundary.
+
+// runZeroOne sorts one 0-1 input (encoded in the bits of pattern) and
+// checks the output.
+func runZeroOne(t *testing.T, m *machine.Machine, plan *partition.Plan, mKeys int, pattern uint64) {
+	t.Helper()
+	keys := make([]sortutil.Key, mKeys)
+	ones := 0
+	for i := range keys {
+		if pattern>>uint(i)&1 == 1 {
+			keys[i] = 1
+			ones++
+		}
+	}
+	sorted, _, err := FTSort(m, plan, keys)
+	if err != nil {
+		t.Fatalf("pattern %b: %v", pattern, err)
+	}
+	if len(sorted) != mKeys {
+		t.Fatalf("pattern %b: length %d", pattern, len(sorted))
+	}
+	for i, k := range sorted {
+		want := sortutil.Key(0)
+		if i >= mKeys-ones {
+			want = 1
+		}
+		if k != want {
+			t.Fatalf("pattern %b: position %d = %d, want %d (ones=%d)", pattern, i, k, want, ones)
+		}
+	}
+}
+
+// TestZeroOneExhaustiveQ3TwoFaults exhausts every 0-1 input of 12 keys
+// (4096 patterns) on Q_3 with two faults — per the 0-1 principle this
+// certifies the FT sort for that configuration completely.
+func TestZeroOneExhaustiveQ3TwoFaults(t *testing.T) {
+	faults := cube.NewNodeSet(0b010, 0b111)
+	plan, err := partition.BuildPlan(3, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 3, Faults: faults})
+	const mKeys = 12 // 2 keys per working processor (N' = 6)
+	for pattern := uint64(0); pattern < 1<<mKeys; pattern++ {
+		runZeroOne(t, m, plan, mKeys, pattern)
+	}
+}
+
+// TestZeroOneExhaustiveQ2OneFault exhausts 0-1 inputs on the smallest
+// faulty machine: Q_2 with one fault, 9 keys over 3 processors.
+func TestZeroOneExhaustiveQ2OneFault(t *testing.T) {
+	faults := cube.NewNodeSet(0b01)
+	plan, err := partition.BuildPlan(2, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 2, Faults: faults})
+	const mKeys = 9
+	for pattern := uint64(0); pattern < 1<<mKeys; pattern++ {
+		runZeroOne(t, m, plan, mKeys, pattern)
+	}
+}
+
+// TestZeroOneExhaustiveFaultFree covers the no-fault layout (no dead
+// nodes, single whole-cube subcube).
+func TestZeroOneExhaustiveFaultFree(t *testing.T) {
+	plan, err := partition.BuildPlan(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 2})
+	const mKeys = 12 // 3 keys per processor
+	for pattern := uint64(0); pattern < 1<<mKeys; pattern++ {
+		runZeroOne(t, m, plan, mKeys, pattern)
+	}
+}
+
+// TestZeroOneSampledQ4ThreeFaults samples the 0-1 space on a larger
+// configuration where exhaustion is infeasible: Q_4 with three faults
+// (mincut 2), 24 keys over 12 working processors. Walking patterns with
+// a large stride still sweeps all densities and many boundary layouts.
+func TestZeroOneSampledQ4ThreeFaults(t *testing.T) {
+	faults := cube.NewNodeSet(0b0000, 0b0110, 0b1001)
+	plan, err := partition.BuildPlan(4, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mincut() != 2 {
+		t.Fatalf("mincut = %d, want 2", plan.Mincut())
+	}
+	m := machine.MustNew(machine.Config{Dim: 4, Faults: faults})
+	const mKeys = 24
+	// Stride co-prime with 2^24 sweeps a well-spread sample.
+	const stride = 2654435761 % (1 << mKeys)
+	pattern := uint64(0)
+	for i := 0; i < 3000; i++ {
+		runZeroOne(t, m, plan, mKeys, pattern)
+		pattern = (pattern + stride) % (1 << mKeys)
+	}
+	// Plus the adversarial boundary patterns: all-zero, all-one, single
+	// one/zero at each position.
+	runZeroOne(t, m, plan, mKeys, 0)
+	runZeroOne(t, m, plan, mKeys, 1<<mKeys-1)
+	for i := 0; i < mKeys; i++ {
+		runZeroOne(t, m, plan, mKeys, 1<<uint(i))
+		runZeroOne(t, m, plan, mKeys, (1<<mKeys-1)&^(1<<uint(i)))
+	}
+}

@@ -1,0 +1,159 @@
+// Package diagnosis implements PMC-model system-level fault diagnosis on
+// hypercubes, making executable the paper's assumption that "the
+// locations of the faulty processors ... are known before running the
+// proposed fault-tolerant sorting algorithm" (it cites the off-line
+// diagnosis of Banerjee [3] and the n-cube diagnosis algorithms of
+// Armstrong & Gray [2] and Bhat [5]).
+//
+// In the PMC (Preparata-Metze-Chien) model each processor tests its n
+// neighbors. A fault-free tester reports faithfully: pass iff the tested
+// neighbor is fault-free. A faulty tester's reports are arbitrary — here
+// drawn from a deterministic adversarial stream so tests can exercise
+// lying testers reproducibly. The n-dimensional hypercube is one-step
+// n-diagnosable, so with the paper's r <= n-1 faults the syndrome
+// determines the fault set uniquely; Diagnose recovers it.
+package diagnosis
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/xrand"
+)
+
+// Syndrome records every directed neighbor test: Fail[u][d] reports
+// whether processor u's test of its dimension-d neighbor failed.
+type Syndrome struct {
+	n    int
+	Fail [][]bool
+}
+
+// NewSyndrome allocates an all-pass syndrome for Q_n.
+func NewSyndrome(n int) *Syndrome {
+	f := make([][]bool, 1<<n)
+	for i := range f {
+		f[i] = make([]bool, n)
+	}
+	return &Syndrome{n: n, Fail: f}
+}
+
+// Dim returns the cube dimension the syndrome covers.
+func (s *Syndrome) Dim() int { return s.n }
+
+// Result returns u's verdict on its dimension-d neighbor (true = fail).
+func (s *Syndrome) Result(u cube.NodeID, d int) bool { return s.Fail[u][d] }
+
+// Collect simulates one off-line test round: every processor tests all n
+// neighbors. Fault-free testers report the truth; faulty testers report
+// bits drawn from liar (the PMC model's arbitrary outcomes). Passing the
+// same seed reproduces the same lies.
+func Collect(h cube.Hypercube, faults cube.NodeSet, liar *xrand.RNG) *Syndrome {
+	s := NewSyndrome(h.Dim())
+	for u := cube.NodeID(0); u < cube.NodeID(h.Size()); u++ {
+		for d := 0; d < h.Dim(); d++ {
+			v := h.Neighbor(u, d)
+			if faults.Has(u) {
+				s.Fail[u][d] = liar.Uint64()&1 == 1
+			} else {
+				s.Fail[u][d] = faults.Has(v)
+			}
+		}
+	}
+	return s
+}
+
+// Diagnose decodes a syndrome, returning the unique fault set of size at
+// most maxFaults consistent with it. It requires maxFaults <= n (the
+// hypercube's one-step diagnosability bound); beyond that the syndrome
+// may admit multiple explanations and decoding refuses rather than guess.
+//
+// Decoding seeds a hypothesis at each processor in turn: assume the seed
+// fault-free, closure-propagate its verdicts (everything a trusted node
+// passes is trusted, everything it fails is faulty), and accept the first
+// closure that is globally consistent and small enough. With r <= n-1
+// faults the fault-free survivors of Q_n are connected, so the closure
+// from any fault-free seed covers exactly the fault-free set, and
+// one-step diagnosability makes the accepted answer unique.
+func Diagnose(h cube.Hypercube, s *Syndrome, maxFaults int) (cube.NodeSet, error) {
+	if s.Dim() != h.Dim() {
+		return nil, fmt.Errorf("diagnosis: syndrome for Q_%d used on Q_%d", s.Dim(), h.Dim())
+	}
+	if maxFaults < 0 || maxFaults > h.Dim() {
+		return nil, fmt.Errorf("diagnosis: maxFaults %d outside one-step diagnosability [0,%d]", maxFaults, h.Dim())
+	}
+	for seed := cube.NodeID(0); seed < cube.NodeID(h.Size()); seed++ {
+		if faults, ok := tryHypothesis(h, s, seed, maxFaults); ok {
+			return faults, nil
+		}
+	}
+	return nil, fmt.Errorf("diagnosis: no consistent fault set of size <= %d", maxFaults)
+}
+
+// verdict is a node's status inside one hypothesis.
+type verdict uint8
+
+const (
+	unknown verdict = iota
+	trusted
+	accused
+)
+
+// tryHypothesis grows the hypothesis "seed is fault-free" to a full
+// labeling and checks it explains the whole syndrome with few enough
+// faults.
+func tryHypothesis(h cube.Hypercube, s *Syndrome, seed cube.NodeID, maxFaults int) (cube.NodeSet, bool) {
+	status := make([]verdict, h.Size())
+	status[seed] = trusted
+	queue := []cube.NodeID{seed}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for d := 0; d < h.Dim(); d++ {
+			v := h.Neighbor(u, d)
+			want := trusted
+			if s.Result(u, d) {
+				want = accused
+			}
+			switch status[v] {
+			case unknown:
+				status[v] = want
+				if want == trusted {
+					queue = append(queue, v)
+				}
+			case trusted, accused:
+				if status[v] != want {
+					return nil, false // two trusted nodes disagree
+				}
+			}
+		}
+	}
+	faults := cube.NewNodeSet()
+	for id, st := range status {
+		switch st {
+		case accused:
+			faults.Add(cube.NodeID(id))
+		case unknown:
+			// Unreached nodes are not vouched for by any trusted node.
+			// Under the connectivity guarantee of r <= n-1 this only
+			// happens when the hypothesis is wrong (seed faulty), or the
+			// node is genuinely cut off — count it faulty and let the
+			// size bound arbitrate.
+			faults.Add(cube.NodeID(id))
+		}
+	}
+	if len(faults) > maxFaults {
+		return nil, false
+	}
+	// Full consistency check: every trusted node's every verdict matches.
+	for u := cube.NodeID(0); u < cube.NodeID(h.Size()); u++ {
+		if status[u] != trusted {
+			continue
+		}
+		for d := 0; d < h.Dim(); d++ {
+			if s.Result(u, d) != faults.Has(h.Neighbor(u, d)) {
+				return nil, false
+			}
+		}
+	}
+	return faults, true
+}

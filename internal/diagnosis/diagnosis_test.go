@@ -1,0 +1,133 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/xrand"
+)
+
+func sameSet(a, b cube.NodeSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for x := range a {
+		if !b.Has(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiagnoseNoFaults(t *testing.T) {
+	h := cube.New(4)
+	s := Collect(h, cube.NewNodeSet(), xrand.New(1))
+	got, err := Diagnose(h, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("diagnosed phantom faults %v", got.Sorted())
+	}
+}
+
+func TestDiagnoseSingleFaultEveryLocation(t *testing.T) {
+	h := cube.New(4)
+	for f := cube.NodeID(0); f < 16; f++ {
+		s := Collect(h, cube.NewNodeSet(f), xrand.New(uint64(f)))
+		got, err := Diagnose(h, s, 4)
+		if err != nil {
+			t.Fatalf("fault %d: %v", f, err)
+		}
+		if !sameSet(got, cube.NewNodeSet(f)) {
+			t.Fatalf("fault %d diagnosed as %v", f, got.Sorted())
+		}
+	}
+}
+
+// TestDiagnoseRandomFaultSets sweeps the paper's regime (r <= n-1) with
+// adversarial lying testers: diagnosis must recover the exact fault set.
+func TestDiagnoseRandomFaultSets(t *testing.T) {
+	r := xrand.New(7)
+	for _, n := range []int{3, 4, 5, 6} {
+		h := cube.New(n)
+		for trial := 0; trial < 80; trial++ {
+			nf := r.IntN(n) // 0..n-1
+			faults := cube.NewNodeSet()
+			for _, f := range r.Sample(h.Size(), nf) {
+				faults.Add(cube.NodeID(f))
+			}
+			s := Collect(h, faults, r.Split())
+			got, err := Diagnose(h, s, n-1)
+			if err != nil {
+				t.Fatalf("n=%d faults=%v: %v", n, faults.Sorted(), err)
+			}
+			if !sameSet(got, faults) {
+				t.Fatalf("n=%d: diagnosed %v, want %v", n, got.Sorted(), faults.Sorted())
+			}
+		}
+	}
+}
+
+// TestDiagnoseFullDiagnosabilityBound exercises r = n (the one-step
+// diagnosability limit of the n-cube), still uniquely decodable.
+func TestDiagnoseFullDiagnosabilityBound(t *testing.T) {
+	r := xrand.New(8)
+	h := cube.New(4)
+	for trial := 0; trial < 40; trial++ {
+		faults := cube.NewNodeSet()
+		for _, f := range r.Sample(16, 4) {
+			faults.Add(cube.NodeID(f))
+		}
+		s := Collect(h, faults, r.Split())
+		got, err := Diagnose(h, s, 4)
+		if err != nil {
+			t.Fatalf("faults %v: %v", faults.Sorted(), err)
+		}
+		if !sameSet(got, faults) {
+			t.Fatalf("diagnosed %v, want %v", got.Sorted(), faults.Sorted())
+		}
+	}
+}
+
+func TestDiagnoseRejectsBadArgs(t *testing.T) {
+	h := cube.New(3)
+	s := Collect(h, nil, xrand.New(1))
+	if _, err := Diagnose(cube.New(4), s, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Diagnose(h, s, 4); err == nil {
+		t.Error("maxFaults beyond diagnosability accepted")
+	}
+	if _, err := Diagnose(h, s, -1); err == nil {
+		t.Error("negative maxFaults accepted")
+	}
+}
+
+func TestDiagnoseLiarsCannotFrameHealthyNodes(t *testing.T) {
+	// Whatever the liars say, the decoded set equals the true fault set —
+	// try many adversarial lie streams for one fixed fault set.
+	h := cube.New(5)
+	faults := cube.NewNodeSet(0, 3, 17, 24)
+	for seed := uint64(0); seed < 50; seed++ {
+		s := Collect(h, faults, xrand.New(seed))
+		got, err := Diagnose(h, s, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sameSet(got, faults) {
+			t.Fatalf("seed %d: diagnosed %v", seed, got.Sorted())
+		}
+	}
+}
+
+func TestSyndromeAccessors(t *testing.T) {
+	s := NewSyndrome(3)
+	if s.Dim() != 3 {
+		t.Error("Dim wrong")
+	}
+	s.Fail[2][1] = true
+	if !s.Result(2, 1) || s.Result(2, 0) {
+		t.Error("Result wrong")
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// CostAgreementRow compares the §3 closed-form estimate against the
+// simulated makespan for one configuration (experiment E8).
+type CostAgreementRow struct {
+	N, R, M  int
+	Mincut   int
+	Estimate machine.Time
+	Measured machine.Time
+	Ratio    float64
+}
+
+// CostAgreement sweeps configurations and reports measured/estimated
+// ratios under the paper's cost model. A stable ratio across the sweep
+// means the closed form captures the scaling even where its constants
+// differ from the implementation's.
+func CostAgreement(seed uint64) ([]CostAgreementRow, error) {
+	rng := xrand.New(seed)
+	var rows []CostAgreementRow
+	for _, cfg := range []struct{ n, r, m int }{
+		{4, 0, 4000}, {4, 2, 4000}, {5, 1, 8000}, {5, 4, 8000},
+		{6, 2, 16000}, {6, 5, 16000},
+	} {
+		faults := sampleFaults(cube.New(cfg.n), cfg.r, rng)
+		keys := workload.MustGenerate(workload.Uniform, cfg.m, rng)
+		_, plan, res, err := core.SortOnFaultyCube(cfg.n, faults, machine.Partial, machine.PaperCostModel(), keys)
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.CostEstimate(cfg.m, cfg.n, plan.Mincut(), plan.HasDead, machine.PaperCostModel())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CostAgreementRow{
+			N: cfg.n, R: cfg.r, M: cfg.m, Mincut: plan.Mincut(),
+			Estimate: est, Measured: res.Makespan,
+			Ratio: float64(res.Makespan) / float64(est),
+		})
+	}
+	return rows, nil
+}
+
+// FormatCostAgreement renders E8's rows.
+func FormatCostAgreement(rows []CostAgreementRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tM\tmincut\testimate\tmeasured\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n", r.N, r.R, r.M, r.Mincut, r.Estimate, r.Measured, r.Ratio)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// HeuristicRow compares the heuristically selected cutting sequence
+// against the worst member of Ψ for one fault placement (experiment E9).
+type HeuristicRow struct {
+	N, R          int
+	BestCost      int // formula (1) for the selected sequence
+	WorstCost     int // formula (1) for the worst sequence in Ψ
+	BestMakespan  machine.Time
+	WorstMakespan machine.Time
+	BestKeyHops   int64
+	WorstKeyHops  int64
+}
+
+// HeuristicValue quantifies what the min-max selection of §3 buys: for
+// sampled fault placements with a non-trivial Ψ, sort once with the
+// selected sequence and once with the worst-scoring one, comparing
+// simulated time and key-hop traffic.
+func HeuristicValue(n, mKeys, trials int, seed uint64) ([]HeuristicRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	var rows []HeuristicRow
+	for trial := 0; trial < trials; trial++ {
+		r := 3 + rng.IntN(n-3) // >= 3 faults so Ψ has room to differ
+		faults := sampleFaults(h, r, rng)
+		set, err := partition.FindCuttingSet(h, faults)
+		if err != nil {
+			return nil, err
+		}
+		if len(set.Sequences) < 2 {
+			continue // no selection to make
+		}
+		bestSeq, bestCost, err := partition.Select(h, faults, set)
+		if err != nil {
+			return nil, err
+		}
+		worstSeq, worstCost := bestSeq, bestCost
+		for _, d := range set.Sequences {
+			c, err := partition.ExtraCommCost(h, faults, d)
+			if err != nil {
+				return nil, err
+			}
+			if c > worstCost {
+				worstSeq, worstCost = d, c
+			}
+		}
+		if worstCost == bestCost {
+			continue // all members tie; nothing to compare
+		}
+		keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+		best, err := sortWithSequence(n, faults, bestSeq, keys)
+		if err != nil {
+			return nil, err
+		}
+		worst, err := sortWithSequence(n, faults, worstSeq, keys)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HeuristicRow{
+			N: n, R: r, BestCost: bestCost, WorstCost: worstCost,
+			BestMakespan: best.Makespan, WorstMakespan: worst.Makespan,
+			BestKeyHops: best.KeyHops, WorstKeyHops: worst.KeyHops,
+		})
+	}
+	return rows, nil
+}
+
+// sortWithSequence runs the FT sort with a caller-forced cutting sequence
+// instead of the heuristic choice.
+func sortWithSequence(n int, faults cube.NodeSet, seq cube.CutSequence, keys []sortutil.Key) (machine.Result, error) {
+	plan, err := partition.BuildPlanWithSequence(n, faults, seq)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	m, err := machine.New(machine.Config{Dim: n, Faults: faults})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	_, res, err := core.FTSort(m, plan, keys)
+	return res, err
+}
+
+// FormatHeuristic renders E9's rows.
+func FormatHeuristic(rows []HeuristicRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tbest cost\tworst cost\tbest time\tworst time\tbest key-hops\tworst key-hops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.N, r.R, r.BestCost, r.WorstCost, r.BestMakespan, r.WorstMakespan, r.BestKeyHops, r.WorstKeyHops)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FaultModelRow compares partial- and total-fault routing for one
+// configuration (experiment E10, the paper's §4 remark that total faults
+// cost more than the partial faults VERTEX gave them).
+type FaultModelRow struct {
+	N, R, M         int
+	PartialMakespan machine.Time
+	TotalMakespan   machine.Time
+	PartialKeyHops  int64
+	TotalKeyHops    int64
+}
+
+// FaultModelComparison runs the FT sort under both fault models on the
+// same fault placements and workloads.
+func FaultModelComparison(n, mKeys, trials int, seed uint64) ([]FaultModelRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	var rows []FaultModelRow
+	for trial := 0; trial < trials; trial++ {
+		r := 1 + rng.IntN(n-1)
+		faults := sampleFaults(h, r, rng)
+		keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+		_, _, resP, err := core.SortOnFaultyCube(n, faults, machine.Partial, machine.CostModel{}, keys)
+		if err != nil {
+			return nil, err
+		}
+		_, _, resT, err := core.SortOnFaultyCube(n, faults, machine.Total, machine.CostModel{}, keys)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FaultModelRow{
+			N: n, R: r, M: mKeys,
+			PartialMakespan: resP.Makespan, TotalMakespan: resT.Makespan,
+			PartialKeyHops: resP.KeyHops, TotalKeyHops: resT.KeyHops,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFaultModel renders E10's rows.
+func FormatFaultModel(rows []FaultModelRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tM\tpartial time\ttotal time\tpartial key-hops\ttotal key-hops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.N, r.R, r.M, r.PartialMakespan, r.TotalMakespan, r.PartialKeyHops, r.TotalKeyHops)
+	}
+	w.Flush()
+	return b.String()
+}

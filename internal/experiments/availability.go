@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/machine"
+	"hypersort/internal/recovery"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// AvailabilityRow is one MTBF point of the mid-run failure study (E15):
+// expected time-to-sorted under the detect/re-partition/restart policy,
+// as a multiple of the failure-free sort time.
+type AvailabilityRow struct {
+	N, M int
+	// MTBFRatio is MTBF divided by the failure-free makespan.
+	MTBFRatio float64
+	MTBF      machine.Time
+	Trials    int
+	// GaveUp counts sessions that exhausted their restart budget or ran
+	// out of partitionable machines.
+	GaveUp int
+	// MeanAttempts and MeanSlowdown average over completed sessions
+	// (slowdown = total time / failure-free makespan).
+	MeanAttempts float64
+	MeanSlowdown float64
+}
+
+// Availability sweeps failure rates around the sort's own duration: an
+// MTBF of 10x the sort time rarely interrupts, 1x interrupts about
+// every other run, 0.5x forces repeated restarts on an ever more
+// degraded machine.
+func Availability(n, mKeys, trials int, ratios []float64, seed uint64) ([]AvailabilityRow, error) {
+	if len(ratios) == 0 {
+		ratios = []float64{10, 3, 1, 0.5}
+	}
+	rng := xrand.New(seed)
+	keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+	// Failure-free reference time.
+	base, err := recovery.Run(recovery.Config{Dim: n, MTBF: 0, Seed: seed}, keys)
+	if err != nil {
+		return nil, err
+	}
+	ref := base.FinalSort
+
+	var rows []AvailabilityRow
+	for _, ratio := range ratios {
+		row := AvailabilityRow{N: n, M: mKeys, MTBFRatio: ratio,
+			MTBF: machine.Time(ratio * float64(ref)), Trials: trials}
+		var attempts, slowdown float64
+		completed := 0
+		for trial := 0; trial < trials; trial++ {
+			res, err := recovery.Run(recovery.Config{
+				Dim: n, MTBF: row.MTBF, Seed: rng.Uint64(),
+			}, keys)
+			if err != nil {
+				row.GaveUp++
+				continue
+			}
+			if !sortutil.IsSorted(res.Sorted, sortutil.Ascending) {
+				return nil, fmt.Errorf("experiments: availability run produced unsorted output")
+			}
+			completed++
+			attempts += float64(res.Attempts)
+			slowdown += float64(res.Total) / float64(ref)
+		}
+		if completed > 0 {
+			row.MeanAttempts = attempts / float64(completed)
+			row.MeanSlowdown = slowdown / float64(completed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAvailability renders E15's rows.
+func FormatAvailability(rows []AvailabilityRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tM\tMTBF/sort\tmean attempts\tmean slowdown\tgave up")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.1fx\t%.2f\t%.2fx\t%d/%d\n",
+			r.N, r.M, r.MTBFRatio, r.MeanAttempts, r.MeanSlowdown, r.GaveUp, r.Trials)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// BeyondRow is one fault count of the beyond-guarantee study (E14): the
+// paper proves r <= n-1 always works and remarks (§2.2) the partition
+// "is also suitable for faulty hypercube Q_n with r >= n faulty
+// processors" when a single-fault structure still exists. This sweep
+// measures how often that is, and what utilization survives.
+type BeyondRow struct {
+	N, R   int
+	Trials int
+	// Separable is the fraction of placements admitting a single-fault
+	// partition (always 1 for r <= n-1).
+	Separable float64
+	// MeanUtilization averages plan utilization over separable
+	// placements.
+	MeanUtilization float64
+	// MeanMincut averages the cut count over separable placements.
+	MeanMincut float64
+	// SortChecked counts full end-to-end sorts run and verified on
+	// separable placements.
+	SortChecked int
+}
+
+// BeyondGuarantee sweeps fault counts past the paper's r <= n-1 bound.
+// For each r it samples placements, attempts the partition, and for a
+// few separable placements runs and verifies a complete sort.
+func BeyondGuarantee(n, maxR, trials int, seed uint64) ([]BeyondRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	if maxR >= h.Size() {
+		return nil, fmt.Errorf("experiments: maxR %d leaves no working processors", maxR)
+	}
+	var rows []BeyondRow
+	for r := 1; r <= maxR; r++ {
+		row := BeyondRow{N: n, R: r, Trials: trials}
+		separable := 0
+		var utilSum, cutSum float64
+		for trial := 0; trial < trials; trial++ {
+			faults := sampleFaults(h, r, rng)
+			plan, err := partition.BuildPlan(n, faults)
+			if err != nil {
+				continue // unseparable placement
+			}
+			separable++
+			utilSum += plan.Utilization()
+			cutSum += float64(plan.Mincut())
+			if row.SortChecked < 3 {
+				keys := workload.MustGenerate(workload.Uniform, 64*(1<<n)/(r+1)+31, rng)
+				m, err := machine.New(machine.Config{Dim: n, Faults: faults})
+				if err != nil {
+					return nil, err
+				}
+				sorted, _, err := core.FTSort(m, plan, keys)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: beyond-guarantee sort failed at n=%d r=%d: %w", n, r, err)
+				}
+				if !sortutil.IsSorted(sorted, sortutil.Ascending) || !sortutil.SameMultiset(sorted, keys) {
+					return nil, fmt.Errorf("experiments: beyond-guarantee sort WRONG at n=%d r=%d faults=%v", n, r, faults.Sorted())
+				}
+				row.SortChecked++
+			}
+		}
+		row.Separable = float64(separable) / float64(trials)
+		if separable > 0 {
+			row.MeanUtilization = utilSum / float64(separable)
+			row.MeanMincut = cutSum / float64(separable)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatBeyond renders E14's rows.
+func FormatBeyond(rows []BeyondRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tseparable\tmean mincut\tmean utilization\tsorts verified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.2f\t%.1f%%\t%d\n",
+			r.N, r.R, 100*r.Separable, r.MeanMincut, 100*r.MeanUtilization, r.SortChecked)
+	}
+	w.Flush()
+	return b.String()
+}

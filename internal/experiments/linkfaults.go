@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// LinkFaultRow is one dead-link count of the link-fault study (E16): the
+// paper's model admits "faulty processors/links" but its evaluation only
+// exercises processor faults; this sweep measures what dead wires cost
+// when the router detours around them.
+type LinkFaultRow struct {
+	N, M      int
+	DeadLinks int
+	Trials    int
+	// MeanKeyHopInflation is mean(key-hops with faults / key-hops clean).
+	MeanKeyHopInflation float64
+	// MeanSlowdown is mean(makespan with faults / makespan clean).
+	MeanSlowdown float64
+}
+
+// LinkFaults sweeps dead-link counts on an otherwise healthy Q_n,
+// verifying every sort and reporting traffic and time inflation. Counts
+// up to n-1 are always routable (edge connectivity n); beyond that,
+// placements that disconnect the cube abort the sweep, so callers stay
+// within the bound.
+func LinkFaults(n, mKeys, maxLinks, trials int, seed uint64) ([]LinkFaultRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	plan, err := partition.BuildPlan(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+	clean := machine.MustNew(machine.Config{Dim: n})
+	_, cleanRes, err := core.FTSort(clean, plan, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LinkFaultRow
+	for dead := 1; dead <= maxLinks; dead++ {
+		row := LinkFaultRow{N: n, M: mKeys, DeadLinks: dead, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			links := cube.NewEdgeSet()
+			for len(links) < dead {
+				a := cube.NodeID(rng.IntN(h.Size()))
+				links.Add(a, h.Neighbor(a, rng.IntN(n)))
+			}
+			m, err := machine.New(machine.Config{Dim: n, LinkFaults: links})
+			if err != nil {
+				return nil, err
+			}
+			sorted, res, err := core.FTSort(m, plan, keys)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: link-fault sort failed with %d dead links: %w", dead, err)
+			}
+			if !sortutil.IsSorted(sorted, sortutil.Ascending) {
+				return nil, fmt.Errorf("experiments: link-fault sort WRONG with links %v", links.Sorted())
+			}
+			row.MeanKeyHopInflation += float64(res.KeyHops) / float64(cleanRes.KeyHops)
+			row.MeanSlowdown += float64(res.Makespan) / float64(cleanRes.Makespan)
+		}
+		row.MeanKeyHopInflation /= float64(trials)
+		row.MeanSlowdown /= float64(trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatLinkFaults renders E16's rows.
+func FormatLinkFaults(rows []LinkFaultRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tM\tdead links\tkey-hop inflation\tslowdown")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.3fx\t%.3fx\n",
+			r.N, r.M, r.DeadLinks, r.MeanKeyHopInflation, r.MeanSlowdown)
+	}
+	w.Flush()
+	return b.String()
+}

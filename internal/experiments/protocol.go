@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// ProtocolRow compares the two compare-exchange wire protocols on the
+// same configuration (experiment E11): the library's full-block swap
+// versus the paper's literal Step 7(a)-(c) half-exchange.
+type ProtocolRow struct {
+	N, R, M         int
+	Startup         machine.Time
+	FullMakespan    machine.Time
+	HalfMakespan    machine.Time
+	FullMessages    int64
+	HalfMessages    int64
+	FullComparisons int64
+	HalfComparisons int64
+}
+
+// ProtocolComparison runs the FT sort under both protocols across fault
+// counts and two startup costs. The startup sweep shows the trade: the
+// half-exchange doubles message count (hurts when startup dominates) but
+// its element-wise compare phase is the paper's measured design point.
+func ProtocolComparison(n, mKeys, trials int, seed uint64) ([]ProtocolRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	var rows []ProtocolRow
+	for _, startup := range []machine.Time{0, 50} {
+		for trial := 0; trial < trials; trial++ {
+			r := rng.IntN(n)
+			faults := sampleFaults(h, r, rng)
+			keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+			plan, err := partition.BuildPlan(n, faults)
+			if err != nil {
+				return nil, err
+			}
+			cost := machine.CostModel{Compare: 1, Elem: 1, Startup: startup}
+			mach, err := machine.New(machine.Config{Dim: n, Faults: faults, Cost: cost})
+			if err != nil {
+				return nil, err
+			}
+			_, resFull, err := core.FTSortOpt(mach, plan, keys, core.Options{Protocol: bitonic.FullBlock})
+			if err != nil {
+				return nil, err
+			}
+			_, resHalf, err := core.FTSortOpt(mach, plan, keys, core.Options{Protocol: bitonic.HalfExchange})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ProtocolRow{
+				N: n, R: r, M: mKeys, Startup: startup,
+				FullMakespan: resFull.Makespan, HalfMakespan: resHalf.Makespan,
+				FullMessages: resFull.Messages, HalfMessages: resHalf.Messages,
+				FullComparisons: resFull.Comparisons, HalfComparisons: resHalf.Comparisons,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatProtocol renders E11's rows.
+func FormatProtocol(rows []ProtocolRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tM\tstartup\tfull time\thalf time\tfull msgs\thalf msgs\tfull cmps\thalf cmps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.N, r.R, r.M, r.Startup,
+			r.FullMakespan, r.HalfMakespan,
+			r.FullMessages, r.HalfMessages,
+			r.FullComparisons, r.HalfComparisons)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// SpeedupRow is one point of the scalability study (experiment E13):
+// sorting a fixed M on ever larger fault-free cubes, with speedup and
+// efficiency relative to the single-processor heapsort.
+type SpeedupRow struct {
+	N          int // cube dimension
+	Procs      int
+	M          int
+	Makespan   machine.Time
+	Speedup    float64
+	Efficiency float64
+}
+
+// Speedup measures strong scaling of the (fault-free) distributed bitonic
+// sort: T_1 is a single processor heapsorting all M keys; T_{2^n} is the
+// full sort on Q_n.
+func Speedup(mKeys int, maxN int, seed uint64, cost machine.CostModel) ([]SpeedupRow, error) {
+	if (cost == machine.CostModel{}) {
+		cost = machine.PaperCostModel()
+	}
+	rng := xrand.New(seed)
+	keys := workload.MustGenerate(workload.Uniform, mKeys, rng)
+	var rows []SpeedupRow
+	var t1 machine.Time
+	for n := 0; n <= maxN; n++ {
+		m, err := machine.New(machine.Config{Dim: n, Cost: cost})
+		if err != nil {
+			return nil, err
+		}
+		_, res, err := bitonic.Sort(m, bitonic.FullCube(n), keys, sortutil.Ascending)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			t1 = res.Makespan
+		}
+		procs := 1 << n
+		rows = append(rows, SpeedupRow{
+			N: n, Procs: procs, M: mKeys, Makespan: res.Makespan,
+			Speedup:    float64(t1) / float64(res.Makespan),
+			Efficiency: float64(t1) / float64(res.Makespan) / float64(procs),
+		})
+	}
+	return rows, nil
+}
+
+// DefaultSpeedupCost is the cost model the speedup study reports with
+// (the paper's unit-cost model).
+func DefaultSpeedupCost() machine.CostModel { return machine.PaperCostModel() }
+
+// FormatSpeedup renders E13's rows.
+func FormatSpeedup(rows []SpeedupRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tprocessors\tM\ttime\tspeedup\tefficiency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			r.N, r.Procs, r.M, r.Makespan, r.Speedup, r.Efficiency)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// DistributionRow is one point of the distribution-overhead study
+// (experiment E12): the same fault-tolerant sort with and without the
+// paper's excluded Step 2 scatter/gather phases in the clock.
+type DistributionRow struct {
+	N, R, M       int
+	SortOnly      machine.Time
+	WithDistrib   machine.Time
+	OverheadShare float64 // (WithDistrib - SortOnly) / WithDistrib
+}
+
+// DistributionOverhead quantifies the cost the paper's model excludes:
+// host scatter before sorting plus gather after, over a binomial tree
+// from the first working processor.
+func DistributionOverhead(n, r int, ms []int, seed uint64) ([]DistributionRow, error) {
+	rng := xrand.New(seed)
+	h := cube.New(n)
+	faults := sampleFaults(h, r, rng)
+	plan, err := partition.BuildPlan(n, faults)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := machine.New(machine.Config{Dim: n, Faults: faults})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DistributionRow
+	for _, m := range ms {
+		keys := workload.MustGenerate(workload.Uniform, m, rng)
+		_, resSort, err := core.FTSortOpt(mach, plan, keys, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		_, resDist, err := core.FTSortOpt(mach, plan, keys, core.Options{AccountDistribution: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DistributionRow{
+			N: n, R: r, M: m,
+			SortOnly:      resSort.Makespan,
+			WithDistrib:   resDist.Makespan,
+			OverheadShare: float64(resDist.Makespan-resSort.Makespan) / float64(resDist.Makespan),
+		})
+	}
+	return rows, nil
+}
+
+// FormatDistribution renders E12's rows.
+func FormatDistribution(rows []DistributionRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tr\tM\tsort only\twith distribution\toverhead share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			r.N, r.R, r.M, r.SortOnly, r.WithDistrib, 100*r.OverheadShare)
+	}
+	w.Flush()
+	return b.String()
+}

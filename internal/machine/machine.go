@@ -1,0 +1,343 @@
+// Package machine simulates an MIMD hypercube multicomputer in the style
+// of the NCUBE/7 the paper evaluates on: one goroutine per processor,
+// message passing between neighbors, and a causal virtual clock per node.
+//
+// # Timing model
+//
+// The simulator measures cost in abstract time units tied to the paper's
+// two constants: t_c (CostModel.Compare), the cost of comparing one pair
+// of keys, and t_s/r (CostModel.Elem), the cost of sending or receiving
+// one key across one link. A message of L keys travelling H hops arrives
+// H*(Startup + L*Elem) after it is sent (store-and-forward, as on the
+// NCUBE). Each node's clock advances by its own compute calls and by
+// message causality:
+//
+//	recv.clock = max(recv.clock, send.clock + latency)
+//
+// The makespan of a run is the maximum final clock over all participants
+// — the simulated wall-clock time of the algorithm. Because clocks depend
+// only on the message-passing causality of the (deterministic) kernels and
+// never on host scheduling, repeated runs produce identical makespans.
+//
+// # Fault models
+//
+// Following §4 of the paper, a faulty processor is either *partial* (its
+// compute portion is dead but its links still forward messages — what the
+// VERTEX OS gave the authors) or *total* (the node routes nothing, and
+// messages must detour around it, per Chen & Shin). The fault model
+// selects the router: e-cube for Partial, fault-avoiding DFS for Total.
+// In both models faulty processors never run kernels.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/routing"
+)
+
+// Time is virtual time in abstract cost units.
+type Time int64
+
+// Tag disambiguates messages between the same (src, dst) pair; kernels
+// typically encode the algorithm phase in it.
+type Tag int32
+
+// CostModel carries the paper's cost constants.
+type CostModel struct {
+	// Compare is t_c, the cost of one key comparison.
+	Compare Time
+	// Elem is t_s/r, the cost of moving one key across one link.
+	Elem Time
+	// Startup is the fixed per-hop message overhead. The paper's cost
+	// model omits it (set it to zero to reproduce the closed form); real
+	// machines pay it, so the default keeps a modest value.
+	Startup Time
+}
+
+// DefaultCostModel mirrors the NCUBE-era ratio of communication to
+// computation: moving a key across a link costs several comparisons, and
+// each hop pays a fixed software overhead.
+func DefaultCostModel() CostModel { return CostModel{Compare: 1, Elem: 3, Startup: 20} }
+
+// PaperCostModel is the cost model of the paper's §3 closed-form analysis:
+// unit comparison cost, unit transfer cost, no startup.
+func PaperCostModel() CostModel { return CostModel{Compare: 1, Elem: 1, Startup: 0} }
+
+// FaultModel selects how faulty processors treat traffic (§4).
+type FaultModel int
+
+const (
+	// Partial faults destroy only the computational portion of a
+	// processor; its links still forward messages (VERTEX behaviour).
+	Partial FaultModel = iota
+	// Total faults destroy the processor and all incident links; routes
+	// must avoid it entirely.
+	Total
+)
+
+// String implements fmt.Stringer.
+func (f FaultModel) String() string {
+	if f == Total {
+		return "total"
+	}
+	return "partial"
+}
+
+// Config assembles a machine.
+type Config struct {
+	// Dim is the hypercube dimension n; the machine has 2^Dim processors.
+	Dim int
+	// Faults is the set of faulty processor addresses (may be empty).
+	Faults cube.NodeSet
+	// Model selects partial or total fault behaviour.
+	Model FaultModel
+	// Cost is the timing model; zero value means PaperCostModel.
+	Cost CostModel
+	// LinkFaults lists dead links. Messages route around them (the
+	// paper's model allows "faulty processors/links"; a dead link always
+	// blocks traffic regardless of the processor fault model).
+	LinkFaults cube.EdgeSet
+	// Trace, if non-nil, receives every send, receive, and compute event
+	// during runs. It is called from processor goroutines concurrently
+	// and must be safe for concurrent use.
+	Trace TraceFunc
+}
+
+// Machine is a simulated hypercube multicomputer. Create one with New,
+// then execute SPMD kernels with Run. A Machine is reusable across runs;
+// it is not safe for concurrent Runs.
+type Machine struct {
+	h      cube.Hypercube
+	cfg    Config
+	router routing.Router
+	nodes  []*node
+}
+
+// node is the per-processor state. Each node's clock and counters are
+// only touched by its own kernel goroutine during a run; the mailbox is
+// the sole cross-goroutine structure.
+type node struct {
+	id     cube.NodeID
+	clock  Time
+	box    *mailbox
+	faulty bool
+
+	// statistics, owned by the node's goroutine
+	msgsSent  int64
+	keysSent  int64
+	keyHops   int64
+	compares  int64
+	recvWaits int64
+}
+
+// New builds the machine. It returns an error if the configuration is
+// invalid (bad dimension or fault addresses outside the cube).
+func New(cfg Config) (*Machine, error) {
+	if cfg.Dim < 0 || cfg.Dim > cube.MaxDim {
+		return nil, fmt.Errorf("machine: dimension %d out of range [0,%d]", cfg.Dim, cube.MaxDim)
+	}
+	h := cube.New(cfg.Dim)
+	for f := range cfg.Faults {
+		if !h.Contains(f) {
+			return nil, fmt.Errorf("machine: fault address %d outside Q_%d", f, cfg.Dim)
+		}
+	}
+	if (cfg.Cost == CostModel{}) {
+		cfg.Cost = PaperCostModel()
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = cube.NewNodeSet()
+	}
+	for e := range cfg.LinkFaults {
+		if !h.Contains(e.A) || !h.Contains(e.B) {
+			return nil, fmt.Errorf("machine: link fault %v outside Q_%d", e, cfg.Dim)
+		}
+	}
+	m := &Machine{h: h, cfg: cfg}
+	switch {
+	case len(cfg.LinkFaults) > 0 && cfg.Model == Total:
+		m.router = routing.NewLinkAwareRouter(h, cfg.Faults, cfg.LinkFaults)
+	case len(cfg.LinkFaults) > 0:
+		// Partial processor faults still forward, but dead links never do.
+		m.router = routing.NewLinkAwareRouter(h, nil, cfg.LinkFaults)
+	case cfg.Model == Total:
+		m.router = routing.NewFaultAvoidingRouter(h, cfg.Faults)
+	default:
+		m.router = routing.NewECubeRouter(h)
+	}
+	m.nodes = make([]*node, h.Size())
+	for i := range m.nodes {
+		id := cube.NodeID(i)
+		m.nodes[i] = &node{id: id, box: newMailbox(), faulty: cfg.Faults.Has(id)}
+	}
+	return m, nil
+}
+
+// MustNew is New for statically valid configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cube returns the underlying hypercube.
+func (m *Machine) Cube() cube.Hypercube { return m.h }
+
+// Faults returns the configured fault set (not a copy; do not modify).
+func (m *Machine) Faults() cube.NodeSet { return m.cfg.Faults }
+
+// Cost returns the active cost model.
+func (m *Machine) Cost() CostModel { return m.cfg.Cost }
+
+// Model returns the active fault model.
+func (m *Machine) Model() FaultModel { return m.cfg.Model }
+
+// Healthy returns the fault-free processor addresses in ascending order.
+func (m *Machine) Healthy() []cube.NodeID {
+	out := make([]cube.NodeID, 0, m.h.Size()-len(m.cfg.Faults))
+	for id := cube.NodeID(0); id < cube.NodeID(m.h.Size()); id++ {
+		if !m.cfg.Faults.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Kernel is the SPMD program each participating processor executes. The
+// Proc argument is that processor's machine interface. A kernel returning
+// an error aborts the run.
+type Kernel func(p *Proc) error
+
+// Result summarizes one Run.
+type Result struct {
+	// Makespan is the simulated completion time: the maximum final clock
+	// over all participants.
+	Makespan Time
+	// Messages is the total number of point-to-point messages sent.
+	Messages int64
+	// KeysSent is the total number of keys contained in those messages.
+	KeysSent int64
+	// KeyHops is the total key*link traffic (each key counted once per
+	// hop it travelled), the quantity t_s/r prices.
+	KeyHops int64
+	// Comparisons is the total number of key comparisons performed.
+	Comparisons int64
+	// RecvWaits counts receives that found no matching message queued —
+	// a rough measure of synchronization stalls (diagnostic only; it does
+	// not affect virtual time).
+	RecvWaits int64
+	// PerNode holds each participant's final clock keyed by address.
+	PerNode map[cube.NodeID]Time
+}
+
+// Run executes kernel on every processor in participants concurrently and
+// returns the aggregated result. Every participant must be a fault-free
+// node of the cube; faulty or duplicate participants are rejected. Clocks,
+// counters, and mailboxes are reset at the start of each run.
+func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error) {
+	seen := make(map[cube.NodeID]bool, len(participants))
+	for _, id := range participants {
+		if !m.h.Contains(id) {
+			return Result{}, fmt.Errorf("machine: participant %d outside Q_%d", id, m.cfg.Dim)
+		}
+		if m.cfg.Faults.Has(id) {
+			return Result{}, fmt.Errorf("machine: participant %d is faulty", id)
+		}
+		if seen[id] {
+			return Result{}, fmt.Errorf("machine: participant %d listed twice", id)
+		}
+		seen[id] = true
+	}
+	for _, nd := range m.nodes {
+		nd.clock = 0
+		nd.msgsSent, nd.keysSent, nd.keyHops, nd.compares, nd.recvWaits = 0, 0, 0, 0, 0
+		nd.box.reset()
+	}
+	bar := newBarrier(len(participants))
+	abortAll := func() {
+		bar.abort()
+		for _, nd := range m.nodes {
+			nd.box.abort()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(participants))
+	procs := make([]*Proc, len(participants))
+	for i, id := range participants {
+		procs[i] = &Proc{m: m, nd: m.nodes[id], bar: bar, group: seen}
+	}
+	for i := range procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = procs[i].runKernel(kernel)
+			if errs[i] != nil {
+				abortAll()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Prefer reporting the root-cause failure over the ErrAborted echoes
+	// it triggered in the other participants.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, ErrAborted) && !errors.Is(err, ErrAborted)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	res := Result{PerNode: make(map[cube.NodeID]Time, len(participants))}
+	for _, id := range participants {
+		nd := m.nodes[id]
+		if nd.clock > res.Makespan {
+			res.Makespan = nd.clock
+		}
+		res.Messages += nd.msgsSent
+		res.KeysSent += nd.keysSent
+		res.KeyHops += nd.keyHops
+		res.Comparisons += nd.compares
+		res.RecvWaits += nd.recvWaits
+		res.PerNode[id] = nd.clock
+	}
+	return res, nil
+}
+
+// RunAllHealthy executes kernel on every fault-free processor.
+func (m *Machine) RunAllHealthy(kernel Kernel) (Result, error) {
+	return m.Run(m.Healthy(), kernel)
+}
+
+// Hops returns the hop count a message pays between src and dst under the
+// machine's routing discipline, or an error if no route exists (possible
+// only in the Total model).
+func (m *Machine) Hops(src, dst cube.NodeID) (int, error) {
+	if src == dst {
+		return 0, nil
+	}
+	p, err := m.router.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return p.Hops(), nil
+}
+
+// SortedParticipants is a convenience for deterministic participant
+// ordering in reports.
+func SortedParticipants(ids []cube.NodeID) []cube.NodeID {
+	out := append([]cube.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"sync"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+// message is one point-to-point transfer. arrival is the virtual time the
+// last byte reaches the destination under the cost model.
+type message struct {
+	src     cube.NodeID
+	tag     Tag
+	arrival Time
+	keys    []sortutil.Key
+}
+
+// mailbox is an unbounded MPI-style receive queue with (source, tag)
+// matching. Sends never block; receives block until a matching message is
+// present or the run is aborted. An unbounded queue is the right choice
+// here: kernels exchange O(1) outstanding messages per peer, and a
+// bounded channel would turn an algorithmic bug into a silent deadlock
+// instead of an observable stuck queue.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// reset clears the queue and abort flag between runs.
+func (mb *mailbox) reset() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.q = nil
+	mb.aborted = false
+}
+
+// put enqueues a message and wakes any waiting receiver.
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.q = append(mb.q, m)
+	mb.cond.Broadcast()
+}
+
+// abort wakes all blocked receivers; their take calls return ok=false.
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.aborted = true
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag),
+// blocking until one arrives. waited reports whether the caller had to
+// block. ok is false if the run was aborted while waiting.
+func (mb *mailbox) take(src cube.NodeID, tag Tag) (m message, waited, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.aborted {
+			return message{}, waited, false
+		}
+		for i := range mb.q {
+			if mb.q[i].src == src && mb.q[i].tag == tag {
+				m = mb.q[i]
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m, waited, true
+			}
+		}
+		waited = true
+		mb.cond.Wait()
+	}
+}
+
+// pending returns the queue length (diagnostics).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.q)
+}
+
+// barrier synchronizes a fixed group of kernel goroutines and their
+// virtual clocks: every participant's clock leaves the barrier set to the
+// group maximum. The barrier itself is free in virtual time — it models
+// the logical phase structure of an SPMD algorithm, not a timed
+// collective (the algorithms under study synchronize through their data
+// messages, which are priced).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	max     Time
+	aborted bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants have called wait, then releases
+// them all with the maximum clock. ok is false if the run was aborted.
+func (b *barrier) wait(t Time) (syncTime Time, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return 0, false
+	}
+	if t > b.max {
+		b.max = t
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		// Last arrival: open the next generation.
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.max, true
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return 0, false
+	}
+	return b.max, true
+}
+
+// abort releases all waiters with ok=false and poisons future waits.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	b.cond.Broadcast()
+}

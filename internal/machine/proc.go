@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+// Proc is one processor's view of the machine during a Run: its identity,
+// virtual clock, and communication primitives. A Proc is only valid
+// inside the kernel invocation it was created for and must not be shared
+// across goroutines.
+type Proc struct {
+	m     *Machine
+	nd    *node
+	bar   *barrier
+	group map[cube.NodeID]bool
+}
+
+// procFailure carries an abort through panic so kernel code can use the
+// communication primitives without threading errors everywhere; Run's
+// wrapper converts it back into an error.
+type procFailure struct{ err error }
+
+// ErrAborted is reported by participants blocked in Recv or Barrier when
+// another participant's kernel failed.
+var ErrAborted = errors.New("machine: run aborted by another participant's failure")
+
+// runKernel executes the kernel, translating panics into errors.
+func (p *Proc) runKernel(k Kernel) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pf, ok := r.(procFailure); ok {
+				err = pf.err
+				return
+			}
+			err = fmt.Errorf("machine: kernel panic on node %d: %v", p.nd.id, r)
+		}
+	}()
+	return k(p)
+}
+
+func (p *Proc) fail(err error) {
+	panic(procFailure{err: err})
+}
+
+// ID returns this processor's physical hypercube address.
+func (p *Proc) ID() cube.NodeID { return p.nd.id }
+
+// Dim returns the hypercube dimension n.
+func (p *Proc) Dim() int { return p.m.h.Dim() }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() Time { return p.nd.clock }
+
+// InGroup reports whether addr participates in the current run. Kernels
+// use it to implement the paper's "skip the dead partner" rule.
+func (p *Proc) InGroup(addr cube.NodeID) bool { return p.group[addr] }
+
+// IsFaulty reports whether addr is a faulty processor of the machine.
+func (p *Proc) IsFaulty(addr cube.NodeID) bool { return p.m.cfg.Faults.Has(addr) }
+
+// Compute advances the clock by n key comparisons (n * t_c). Negative n
+// is a programming error and panics.
+func (p *Proc) Compute(n int) {
+	if n < 0 {
+		panic("machine: negative comparison count")
+	}
+	p.nd.compares += int64(n)
+	p.nd.clock += Time(n) * p.m.cfg.Cost.Compare
+	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceCompute, Peer: p.nd.id, Keys: n, Time: p.nd.clock})
+}
+
+// Elapse advances the clock by an arbitrary duration, for costs outside
+// the comparison/transfer model (e.g. a host-side setup phase a caller
+// wants accounted).
+func (p *Proc) Elapse(d Time) {
+	if d < 0 {
+		panic("machine: negative elapse")
+	}
+	p.nd.clock += d
+}
+
+// Send transmits keys to dst with the given tag. The send is
+// asynchronous: the caller's clock advances by the first-hop injection
+// cost (Startup + len*Elem), and the message arrives at the destination
+// after the remaining hops' store-and-forward latency. Sending to a
+// totally faulty destination, or routing failure in the Total model,
+// aborts the kernel.
+func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
+	if !p.m.h.Contains(dst) {
+		p.fail(fmt.Errorf("machine: node %d sent to %d outside the cube", p.nd.id, dst))
+	}
+	if p.m.cfg.Model == Total && p.m.cfg.Faults.Has(dst) {
+		p.fail(fmt.Errorf("machine: node %d sent to totally faulty node %d", p.nd.id, dst))
+	}
+	hops, err := p.m.Hops(p.nd.id, dst)
+	if err != nil {
+		p.fail(fmt.Errorf("machine: node %d cannot reach %d: %w", p.nd.id, dst, err))
+	}
+	c := p.m.cfg.Cost
+	perHop := c.Startup + Time(len(keys))*c.Elem
+	if hops > 0 {
+		p.nd.clock += perHop // first-hop injection serializes at the sender
+	}
+	arrival := p.nd.clock + Time(hops-1)*perHop
+	if hops == 0 {
+		arrival = p.nd.clock
+	}
+	payload := append([]sortutil.Key(nil), keys...)
+	p.nd.msgsSent++
+	p.nd.keysSent += int64(len(keys))
+	p.nd.keyHops += int64(len(keys)) * int64(hops)
+	p.m.nodes[dst].box.put(message{src: p.nd.id, tag: tag, arrival: arrival, keys: payload})
+	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceSend, Peer: dst, Tag: tag, Keys: len(keys), Hops: hops, Time: p.nd.clock})
+}
+
+// Recv blocks until a message with the given source and tag arrives,
+// advances the clock to the message's arrival time if later, and returns
+// the payload. The returned slice is owned by the caller.
+func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
+	m, waited, ok := p.nd.box.take(src, tag)
+	if !ok {
+		p.fail(ErrAborted)
+	}
+	if waited {
+		p.nd.recvWaits++
+	}
+	if m.arrival > p.nd.clock {
+		p.nd.clock = m.arrival
+	}
+	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceRecv, Peer: src, Tag: tag, Keys: len(m.keys), Time: p.nd.clock})
+	return m.keys
+}
+
+// Exchange performs the symmetric compare-exchange transfer: send keys to
+// peer and receive the peer's keys, both under the same tag. It is the
+// communication pattern of the paper's Step 7 and of every bitonic stage.
+func (p *Proc) Exchange(peer cube.NodeID, tag Tag, keys []sortutil.Key) []sortutil.Key {
+	p.Send(peer, tag, keys)
+	return p.Recv(peer, tag)
+}
+
+// Barrier blocks until every participant of the run reaches it, then
+// synchronizes the clock to the group maximum. It models phase structure
+// and is free in virtual time; see the barrier type for rationale.
+func (p *Proc) Barrier() {
+	t, ok := p.bar.wait(p.nd.clock)
+	if !ok {
+		p.fail(ErrAborted)
+	}
+	p.nd.clock = t
+}
+
+// HopsTo returns the hop count the machine's router charges from this
+// node to dst (diagnostic; Send already prices it).
+func (p *Proc) HopsTo(dst cube.NodeID) int {
+	hops, err := p.m.Hops(p.nd.id, dst)
+	if err != nil {
+		p.fail(err)
+	}
+	return hops
+}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+func TestPerNodeClocks(t *testing.T) {
+	m := MustNew(Config{Dim: 2})
+	res, err := m.Run([]cube.NodeID{0, 1, 2}, func(p *Proc) error {
+		p.Compute(int(p.ID()) * 7)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerNode) != 3 {
+		t.Fatalf("PerNode has %d entries", len(res.PerNode))
+	}
+	for id, clock := range res.PerNode {
+		if clock != Time(id)*7 {
+			t.Errorf("node %d clock = %d", id, clock)
+		}
+	}
+	if res.Makespan != 14 {
+		t.Errorf("makespan = %d", res.Makespan)
+	}
+}
+
+func TestRecvWaitsCountsStalls(t *testing.T) {
+	// Node 1 computes a long time before sending; node 0's receive must
+	// record a stall (it blocks on the mailbox in real time).
+	m := MustNew(Config{Dim: 1})
+	res, err := m.Run([]cube.NodeID{0, 1}, func(p *Proc) error {
+		if p.ID() == 1 {
+			p.Compute(1000)
+			p.Send(0, 1, []sortutil.Key{1})
+			return nil
+		}
+		p.Recv(1, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stall is scheduling-dependent in *count* but the virtual clock
+	// is not: node 0 finishes at node 1's send completion time.
+	if res.PerNode[0] < 1000 {
+		t.Errorf("receiver clock %d below sender compute time", res.PerNode[0])
+	}
+	_ = res.RecvWaits // counted but scheduling-dependent; just exercise it
+}
+
+func TestResultAggregation(t *testing.T) {
+	m := MustNew(Config{Dim: 2, Cost: CostModel{Compare: 1, Elem: 1}})
+	res, err := m.RunAllHealthy(func(p *Proc) error {
+		peer := cube.FlipBit(p.ID(), 0)
+		p.Exchange(peer, 1, make([]sortutil.Key, 5))
+		p.Compute(3)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 4 || res.KeysSent != 20 || res.KeyHops != 20 {
+		t.Errorf("aggregation wrong: %+v", res)
+	}
+	if res.Comparisons != 12 {
+		t.Errorf("comparisons = %d", res.Comparisons)
+	}
+}

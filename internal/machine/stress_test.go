@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+// TestStressQ8AllHealthy runs 256 concurrent processor goroutines through
+// a full dimension sweep of exchanges — a scheduler stress test for the
+// mailbox and clock machinery (the paper's machines top out at Q_6; the
+// simulator should comfortably exceed that).
+func TestStressQ8AllHealthy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-goroutine stress run")
+	}
+	m := MustNew(Config{Dim: 8, Cost: DefaultCostModel()})
+	res, err := m.RunAllHealthy(func(p *Proc) error {
+		keys := make([]sortutil.Key, 32)
+		for d := 0; d < p.Dim(); d++ {
+			got := p.Exchange(cube.FlipBit(p.ID(), d), Tag(d), keys)
+			p.Compute(len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 256*8 {
+		t.Errorf("messages = %d, want %d", res.Messages, 256*8)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+// TestStressQ10RepeatedRuns reuses one large machine across several runs,
+// checking state resets cleanly at 1024 nodes.
+func TestStressQ10RepeatedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-goroutine stress run")
+	}
+	m := MustNew(Config{Dim: 10})
+	var first Time
+	for trial := 0; trial < 3; trial++ {
+		res, err := m.RunAllHealthy(func(p *Proc) error {
+			peer := cube.FlipBit(p.ID(), trialDim(p.ID()))
+			p.Exchange(peer, 1, []sortutil.Key{sortutil.Key(p.ID())})
+			p.Compute(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = res.Makespan
+		} else if res.Makespan != first {
+			t.Fatalf("run %d makespan %d != %d (state leak)", trial, res.Makespan, first)
+		}
+	}
+}
+
+// trialDim picks a deterministic dimension per node so exchanges pair up
+// (both endpoints derive the same dimension from the lower address).
+func trialDim(id cube.NodeID) int { return 0 }
+
+func TestElapse(t *testing.T) {
+	m := MustNew(Config{Dim: 1})
+	_, err := m.Run([]cube.NodeID{0}, func(p *Proc) error {
+		p.Elapse(37)
+		if p.Clock() != 37 {
+			t.Errorf("clock = %d", p.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElapseNegativePanicsIntoError(t *testing.T) {
+	m := MustNew(Config{Dim: 1})
+	_, err := m.Run([]cube.NodeID{0}, func(p *Proc) error {
+		p.Elapse(-1)
+		return nil
+	})
+	if err == nil {
+		t.Error("negative Elapse did not fail the run")
+	}
+}
+
+func TestComputeNegativePanicsIntoError(t *testing.T) {
+	m := MustNew(Config{Dim: 1})
+	_, err := m.Run([]cube.NodeID{0}, func(p *Proc) error {
+		p.Compute(-1)
+		return nil
+	})
+	if err == nil {
+		t.Error("negative Compute did not fail the run")
+	}
+}
+
+func TestHopsToAndSendOutsideCube(t *testing.T) {
+	m := MustNew(Config{Dim: 3})
+	_, err := m.Run([]cube.NodeID{0}, func(p *Proc) error {
+		if p.HopsTo(7) != 3 {
+			t.Errorf("HopsTo(7) = %d", p.HopsTo(7))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]cube.NodeID{0}, func(p *Proc) error {
+		p.Send(9, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Error("send outside cube did not fail")
+	}
+}
+
+func TestMailboxPending(t *testing.T) {
+	mb := newMailbox()
+	if mb.pending() != 0 {
+		t.Error("fresh mailbox not empty")
+	}
+	mb.put(message{src: 1, tag: 2})
+	if mb.pending() != 1 {
+		t.Error("pending wrong after put")
+	}
+	if _, _, ok := mb.take(1, 2); !ok {
+		t.Error("take failed")
+	}
+	if mb.pending() != 0 {
+		t.Error("pending wrong after take")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceSend.String() != "send" || TraceRecv.String() != "recv" || TraceCompute.String() != "compute" {
+		t.Error("TraceKind strings wrong")
+	}
+	if TraceKind(9).String() != "unknown" {
+		t.Error("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,55 @@
+package machine
+
+import "hypersort/internal/cube"
+
+// TraceKind classifies a traced machine event.
+type TraceKind uint8
+
+const (
+	// TraceSend is emitted when a processor injects a message; Time is
+	// the post-injection clock, Peer the destination, Keys the payload
+	// size, Hops the routed distance.
+	TraceSend TraceKind = iota
+	// TraceRecv is emitted when a processor consumes a message; Time is
+	// the post-receive clock, Peer the source.
+	TraceRecv
+	// TraceCompute is emitted for a Compute call; Keys carries the
+	// comparison count.
+	TraceCompute
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceRecv:
+		return "recv"
+	case TraceCompute:
+		return "compute"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one machine event delivered to a Config.Trace hook.
+// Events are emitted by the processor goroutines concurrently; hooks must
+// be safe for concurrent use (trace.Recorder is).
+type TraceEvent struct {
+	Node cube.NodeID
+	Kind TraceKind
+	Peer cube.NodeID // destination (send) or source (recv); Node itself for compute
+	Tag  Tag
+	Keys int  // payload size (send/recv) or comparison count (compute)
+	Hops int  // routed hops (send only)
+	Time Time // the node's clock after the event
+}
+
+// TraceFunc receives machine events; see Config.Trace.
+type TraceFunc func(TraceEvent)
+
+// emit delivers an event if tracing is configured.
+func (m *Machine) emit(ev TraceEvent) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace(ev)
+	}
+}

@@ -1,0 +1,42 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/partition"
+)
+
+// Example reproduces the paper's Example 1 and Example 2: the cutting set
+// of Q_5 with faults {3, 5, 16, 24}, the heuristic selection, and the
+// dangling processors.
+func Example() {
+	plan, err := partition.BuildPlan(5, cube.NewNodeSet(3, 5, 16, 24))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mincut:", plan.Mincut())
+	fmt.Println("|Ψ|:", len(plan.Set.Sequences))
+	fmt.Println("chosen:", plan.Chosen)
+	fmt.Println("dangling:", plan.Dangling)
+	// Output:
+	// mincut: 3
+	// |Ψ|: 5
+	// chosen: (0, 1, 3)
+	// dangling: [18 25 26 27]
+}
+
+// ExampleExtraCommCost evaluates the paper's formula (1) for one member
+// of the cutting set.
+func ExampleExtraCommCost() {
+	h := cube.New(5)
+	faults := cube.NewNodeSet(3, 5, 16, 24)
+	cost, err := partition.ExtraCommCost(h, faults, cube.CutSequence{1, 2, 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cost of (1, 2, 3):", cost)
+	// Output: cost of (1, 2, 3): 4
+}

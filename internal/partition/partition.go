@@ -1,0 +1,228 @@
+// Package partition implements the paper's §2.2 partition algorithm and
+// §3 heuristics: given a hypercube Q_n with r <= n-1 known faulty
+// processors, find every minimum-length cutting-dimension sequence that
+// splits Q_n into the single-fault subcube structure F_n^m (at most one
+// fault per subcube), choose the sequence minimizing the reindexing
+// extra-communication bound (formula (1)), and pick one dangling
+// processor per fault-free subcube so every subcube has exactly one dead
+// node and the workload stays balanced.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"hypersort/internal/cube"
+)
+
+// CutSet is the paper's Ψ together with its mincut value m: every
+// minimum-length cutting-dimension sequence (each sorted ascending, as
+// enumerated by the cutting-dimension tree T_n).
+type CutSet struct {
+	Mincut    int
+	Sequences []cube.CutSequence
+	// NodesVisited counts cutting-dimension tree nodes expanded by the
+	// search (diagnostic; bounded by 2^n - 1).
+	NodesVisited int
+}
+
+// FindCuttingSet runs the depth-first search over the cutting-dimension
+// tree T_n with branch-and-bound on the current mincut, using the
+// checking tree's incremental fault grouping to test each candidate
+// sequence in O(r) per tree node (the paper's O(rN) total).
+//
+// Zero or one fault needs no cut: the result is mincut 0 with the single
+// empty sequence. With more faults, sequences up to length n-1 are
+// explored (each subcube must keep at least one live processor); if even
+// that cannot separate the faults — possible only when two faults share
+// an address, which NodeSet precludes — an error is returned.
+func FindCuttingSet(h cube.Hypercube, faults cube.NodeSet) (CutSet, error) {
+	for f := range faults {
+		if !h.Contains(f) {
+			return CutSet{}, fmt.Errorf("partition: fault %d outside Q_%d", f, h.Dim())
+		}
+	}
+	if len(faults) <= 1 {
+		return CutSet{Mincut: 0, Sequences: []cube.CutSequence{{}}}, nil
+	}
+	n := h.Dim()
+	s := &search{
+		n:       n,
+		maxCut:  n - 1, // each subcube keeps >= 1 live processor
+		mincut:  n,     // paper's Step 1 initial value
+		current: make(cube.CutSequence, 0, n),
+	}
+	root := []group{faults.Sorted()}
+	s.dfs(root, 0)
+	if len(s.found) == 0 {
+		return CutSet{}, fmt.Errorf("partition: no single-fault structure with at most %d cuts for %d faults", s.maxCut, len(faults))
+	}
+	return CutSet{Mincut: s.mincut, Sequences: s.found, NodesVisited: s.visited}, nil
+}
+
+// group is one node of the checking tree: the faults that share all
+// coordinates along the dimensions cut so far.
+type group []cube.NodeID
+
+// search carries the DFS state over the cutting-dimension tree.
+type search struct {
+	n       int
+	maxCut  int
+	mincut  int
+	current cube.CutSequence
+	found   []cube.CutSequence
+	visited int
+}
+
+// dfs extends the current sequence with dimensions >= start (T_n
+// enumerates ascending sequences, one per dimension subset).
+func (s *search) dfs(groups []group, start int) {
+	depth := len(s.current)
+	if depth >= s.mincut {
+		return // Step 3's cutoff: longer sequences can never tie the best
+	}
+	for d := start; d < s.n; d++ {
+		s.visited++
+		s.current = append(s.current, d)
+		next, feasible := splitGroups(groups, d)
+		if feasible {
+			s.record()
+		} else if len(s.current) < s.maxCut {
+			s.dfs(next, d+1)
+		}
+		s.current = s.current[:depth]
+	}
+}
+
+// record applies the paper's update rule: a strictly shorter feasible
+// sequence resets Ψ; an equal-length one joins it.
+func (s *search) record() {
+	k := len(s.current)
+	if k < s.mincut {
+		s.mincut = k
+		s.found = s.found[:0]
+	}
+	s.found = append(s.found, s.current.Clone())
+}
+
+// splitGroups advances the checking tree one level: every group is split
+// by bit d into the children with u_d = 0 and u_d = 1. feasible reports
+// whether all resulting groups hold at most one fault.
+func splitGroups(groups []group, d int) (next []group, feasible bool) {
+	feasible = true
+	next = make([]group, 0, 2*len(groups))
+	for _, g := range groups {
+		if len(g) == 1 {
+			next = append(next, g)
+			continue
+		}
+		var zero, one group
+		for _, f := range g {
+			if cube.Bit(f, d) == 0 {
+				zero = append(zero, f)
+			} else {
+				one = append(one, f)
+			}
+		}
+		if len(zero) > 0 {
+			next = append(next, zero)
+			if len(zero) > 1 {
+				feasible = false
+			}
+		}
+		if len(one) > 0 {
+			next = append(next, one)
+			if len(one) > 1 {
+				feasible = false
+			}
+		}
+	}
+	return next, feasible
+}
+
+// ExtraCommCost evaluates the paper's formula (1) bound for an ordered
+// cutting sequence D: for each subcube dimension i, take the maximum
+// Hamming distance between the local addresses of faults in subcubes
+// adjacent along i, and sum over i. The distance is exactly the extra
+// hops a reindexed compare-exchange pair pays in the cross-subcube stage.
+func ExtraCommCost(h cube.Hypercube, faults cube.NodeSet, d cube.CutSequence) (int, error) {
+	sp, err := cube.NewSplit(h, d)
+	if err != nil {
+		return 0, err
+	}
+	if !sp.IsSingleFault(faults) {
+		return 0, fmt.Errorf("partition: %v does not yield a single-fault structure", d)
+	}
+	// faultW[v] is the local address of subcube v's fault, or -1.
+	faultW := make([]int64, sp.NumSubcubes())
+	for i := range faultW {
+		faultW[i] = -1
+	}
+	for f := range faults {
+		faultW[sp.V(f)] = int64(sp.W(f))
+	}
+	total := 0
+	for i := 0; i < sp.M(); i++ {
+		maxH := 0
+		for v := 0; v < sp.NumSubcubes(); v++ {
+			if cube.Bit(cube.NodeID(v), i) != 0 {
+				continue // count each adjacent pair once
+			}
+			nb := int(sp.NeighborSubcube(cube.NodeID(v), i))
+			if faultW[v] < 0 || faultW[nb] < 0 {
+				continue // only fault-fault pairs enter the heuristic
+			}
+			if hd := cube.HammingDistance(cube.NodeID(faultW[v]), cube.NodeID(faultW[nb])); hd > maxH {
+				maxH = hd
+			}
+		}
+		total += maxH
+	}
+	return total, nil
+}
+
+// Select applies the min-max heuristic: among the sequences of Ψ it
+// returns the one minimizing ExtraCommCost, breaking ties toward the
+// first (lexicographically smallest, matching the paper's choice of D_1
+// in Example 2). The chosen sequence's cost is returned alongside.
+func Select(h cube.Hypercube, faults cube.NodeSet, set CutSet) (cube.CutSequence, int, error) {
+	if len(set.Sequences) == 0 {
+		return nil, 0, fmt.Errorf("partition: empty cutting set")
+	}
+	best := -1
+	bestCost := 0
+	for i, d := range set.Sequences {
+		cost, err := ExtraCommCost(h, faults, d)
+		if err != nil {
+			return nil, 0, err
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return set.Sequences[best].Clone(), bestCost, nil
+}
+
+// DanglingW applies the paper's balance heuristic: the dangling processor
+// of every fault-free subcube takes the local (w-space) address that
+// appears most frequently among the faults, breaking frequency ties
+// toward the smallest address for determinism.
+func DanglingW(sp *cube.Split, faults cube.NodeSet) cube.NodeID {
+	counts := make(map[cube.NodeID]int, len(faults))
+	for f := range faults {
+		counts[sp.W(f)]++
+	}
+	var bestW cube.NodeID
+	bestCount := -1
+	ws := make([]cube.NodeID, 0, len(counts))
+	for w := range counts {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	for _, w := range ws {
+		if counts[w] > bestCount {
+			bestW, bestCount = w, counts[w]
+		}
+	}
+	return bestW
+}

@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"hypersort/internal/cube"
+)
+
+// Plan is the complete partition decision for one faulty hypercube: the
+// paper's Ψ and mincut, the heuristically chosen D_β, the induced
+// address split, and the dead (faulty or dangling) processor of every
+// subcube. It is everything the fault-tolerant sorting algorithm needs to
+// lay out its subcube views.
+type Plan struct {
+	// Cube is the hypercube being partitioned.
+	Cube cube.Hypercube
+	// Faults is the fault set the plan was built for.
+	Faults cube.NodeSet
+	// Set is the full cutting set Ψ with its mincut.
+	Set CutSet
+	// Chosen is the selected sequence D_β (empty for r <= 1).
+	Chosen cube.CutSequence
+	// ExtraComm is formula (1)'s value for Chosen.
+	ExtraComm int
+	// Split is the address decomposition induced by Chosen.
+	Split *cube.Split
+	// DeadW[v] is the local address of subcube v's dead processor: its
+	// fault if it has one, otherwise the common dangling address. With
+	// r = 0 there are no dead processors and DeadW is nil.
+	DeadW []cube.NodeID
+	// HasDead mirrors DeadW: false everywhere when r = 0.
+	HasDead bool
+	// Dangling lists the global addresses of the dangling processors
+	// (dead processors of fault-free subcubes), ascending.
+	Dangling []cube.NodeID
+}
+
+// BuildPlan runs the full §2.2 + §3 pipeline: find Ψ, select D_β, and
+// determine the dangling processors. It accepts any fault count the
+// search can separate (the paper's regime is r <= n-1, but the algorithm
+// itself extends to any set admitting a single-fault structure).
+func BuildPlan(n int, faults cube.NodeSet) (*Plan, error) {
+	h := cube.New(n)
+	if faults == nil {
+		faults = cube.NewNodeSet()
+	}
+	set, err := FindCuttingSet(h, faults)
+	if err != nil {
+		return nil, err
+	}
+	chosen, cost, err := Select(h, faults, set)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := cube.NewSplit(h, chosen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Cube:      h,
+		Faults:    faults.Clone(),
+		Set:       set,
+		Chosen:    chosen,
+		ExtraComm: cost,
+		Split:     sp,
+	}
+	p.assignDead()
+	return p, nil
+}
+
+// BuildPlanWithSequence builds a plan around a caller-chosen cutting
+// sequence instead of running the search and heuristic. The sequence must
+// induce a single-fault structure for the fault set. Ablation studies use
+// it to compare the heuristic's choice against other members of Ψ; it is
+// also the hook for operators who want to pin a partition.
+func BuildPlanWithSequence(n int, faults cube.NodeSet, seq cube.CutSequence) (*Plan, error) {
+	h := cube.New(n)
+	if faults == nil {
+		faults = cube.NewNodeSet()
+	}
+	sp, err := cube.NewSplit(h, seq)
+	if err != nil {
+		return nil, err
+	}
+	if !sp.IsSingleFault(faults) {
+		return nil, fmt.Errorf("partition: sequence %v does not induce a single-fault structure", seq)
+	}
+	cost := 0
+	if len(faults) > 0 {
+		cost, err = ExtraCommCost(h, faults, seq)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &Plan{
+		Cube:      h,
+		Faults:    faults.Clone(),
+		Set:       CutSet{Mincut: len(seq), Sequences: []cube.CutSequence{seq.Clone()}},
+		Chosen:    seq.Clone(),
+		ExtraComm: cost,
+		Split:     sp,
+	}
+	p.assignDead()
+	return p, nil
+}
+
+// assignDead applies Steps 1's dead-processor layout: each faulty
+// subcube's dead node is its fault, each fault-free subcube idles the
+// dangling processor at the most frequent faulty local address. A no-op
+// for fault-free plans.
+func (p *Plan) assignDead() {
+	if len(p.Faults) == 0 {
+		return
+	}
+	sp := p.Split
+	p.HasDead = true
+	p.DeadW = make([]cube.NodeID, sp.NumSubcubes())
+	danglingW := DanglingW(sp, p.Faults)
+	hasFault := make([]bool, sp.NumSubcubes())
+	for f := range p.Faults {
+		v := sp.V(f)
+		hasFault[v] = true
+		p.DeadW[v] = sp.W(f)
+	}
+	for v := 0; v < sp.NumSubcubes(); v++ {
+		if !hasFault[v] {
+			p.DeadW[v] = danglingW
+			p.Dangling = append(p.Dangling, sp.Compose(cube.NodeID(v), danglingW))
+		}
+	}
+	p.Dangling = cube.NewNodeSet(p.Dangling...).Sorted()
+}
+
+// Mincut returns the number of cutting dimensions m.
+func (p *Plan) Mincut() int { return p.Set.Mincut }
+
+// NumSubcubes returns 2^m.
+func (p *Plan) NumSubcubes() int { return p.Split.NumSubcubes() }
+
+// Working returns N', the number of key-holding processors: every
+// processor except the dead one of each subcube (N' = 2^n - 2^m when any
+// fault exists, 2^n when none).
+func (p *Plan) Working() int {
+	if !p.HasDead {
+		return p.Cube.Size()
+	}
+	return p.Cube.Size() - p.NumSubcubes()
+}
+
+// DanglingCount returns the number of healthy-but-idle processors.
+func (p *Plan) DanglingCount() int { return len(p.Dangling) }
+
+// Utilization returns the paper's Table 2 metric: working processors as a
+// fraction of healthy processors, in [0, 1].
+func (p *Plan) Utilization() float64 {
+	healthy := p.Cube.Size() - len(p.Faults)
+	if healthy == 0 {
+		return 0
+	}
+	return float64(p.Working()) / float64(healthy)
+}
+
+// DeadOf returns the global address of subcube v's dead processor. It
+// panics if the plan has no dead processors (r = 0) — callers must check
+// HasDead first, as the fault-free layout has no such concept.
+func (p *Plan) DeadOf(v cube.NodeID) cube.NodeID {
+	if !p.HasDead {
+		panic("partition: DeadOf on a fault-free plan")
+	}
+	return p.Split.Compose(v, p.DeadW[v])
+}
+
+// String renders a human-readable summary for CLI output.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Q_%d with %d fault(s): mincut=%d, |Ψ|=%d, D_β=%v, extra-comm=%d\n",
+		p.Cube.Dim(), len(p.Faults), p.Mincut(), len(p.Set.Sequences), p.Chosen, p.ExtraComm)
+	fmt.Fprintf(&b, "subcubes=%d working=%d dangling=%d utilization=%.1f%%",
+		p.NumSubcubes(), p.Working(), p.DanglingCount(), 100*p.Utilization())
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/partition"
+)
+
+// PartitionSVG draws the partitioned hypercube: every processor as a
+// circle placed by a standard recursive hypercube projection, links as
+// lines, subcubes tinted by their address, faults crossed in red,
+// dangling processors hollow. It is the diagrammatic counterpart of the
+// paper's Figure 1/3 subcube drawings and gives cmd/partition a visual
+// output.
+func PartitionSVG(plan *partition.Plan) string {
+	h := plan.Cube
+	n := h.Dim()
+	const (
+		w, ht   = 760.0, 640.0
+		margin  = 70.0
+		radius  = 13.0
+		legendY = 26.0
+	)
+	pos := layoutCube(n, w-2*margin, ht-2*margin-40)
+	for i := range pos {
+		pos[i][0] += margin
+		pos[i][1] += margin + 40
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, ht, w, ht)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="15" font-weight="bold">Q_%d partitioned by D_β = %s: %d subcube(s), %d fault(s), %d dangling</text>`+"\n",
+		margin, legendY, n, escape(plan.Chosen.String()), plan.NumSubcubes(), len(plan.Faults), len(plan.Dangling))
+
+	// Links first (under the nodes); cross-subcube links dashed.
+	for _, e := range h.Edges() {
+		dashed := ""
+		if plan.Split.V(e.A) != plan.Split.V(e.B) {
+			dashed = ` stroke-dasharray="4,4"`
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb"%s/>`+"\n",
+			pos[e.A][0], pos[e.A][1], pos[e.B][0], pos[e.B][1], dashed)
+	}
+
+	dangling := cube.NewNodeSet(plan.Dangling...)
+	for id := cube.NodeID(0); id < cube.NodeID(h.Size()); id++ {
+		x, y := pos[id][0], pos[id][1]
+		fill := subcubeColor(int(plan.Split.V(id)), plan.NumSubcubes())
+		stroke, strokeW := "#333", 1.0
+		switch {
+		case plan.Faults.Has(id):
+			stroke, strokeW = "#d62728", 3
+		case dangling.Has(id):
+			fill = "white"
+			stroke, strokeW = "#b8860b", 2.5
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%g" fill="%s" stroke="%s" stroke-width="%g"/>`+"\n",
+			x, y, radius, fill, stroke, strokeW)
+		if plan.Faults.Has(id) {
+			// Red cross over the fault.
+			d := radius * 0.7
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d62728" stroke-width="2.5"/>`+"\n", x-d, y-d, x+d, y+d)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d62728" stroke-width="2.5"/>`+"\n", x-d, y+d, x+d, y-d)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%d</text>`+"\n",
+			x, y+3.5, id)
+	}
+
+	// Legend.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">crossed red = faulty, hollow gold = dangling, fill hue = subcube, dashed link = crosses a cut dimension</text>`+"\n",
+		margin, ht-18)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// layoutCube positions 2^n nodes with the classic recursive offsetting:
+// each added dimension duplicates the current drawing and shifts the copy
+// by a decreasing vector, alternating direction to spread the cube.
+func layoutCube(n int, w, h float64) [][2]float64 {
+	pos := make([][2]float64, 1<<n)
+	if n == 0 {
+		pos[0] = [2]float64{w / 2, h / 2}
+		return pos
+	}
+	// Offsets per dimension: alternate mostly-horizontal and
+	// mostly-vertical displacements, shrinking geometrically.
+	offsets := make([][2]float64, n)
+	dx, dy := w*0.52, h*0.52
+	for d := n - 1; d >= 0; d-- {
+		if (n-1-d)%2 == 0 {
+			offsets[d] = [2]float64{dx, dy * 0.18}
+			dx *= 0.46
+		} else {
+			offsets[d] = [2]float64{dx * 0.18, dy}
+			dy *= 0.46
+		}
+	}
+	for id := 0; id < 1<<n; id++ {
+		var x, y float64
+		for d := 0; d < n; d++ {
+			if id>>uint(d)&1 == 1 {
+				x += offsets[d][0]
+				y += offsets[d][1]
+			}
+		}
+		pos[id] = [2]float64{x, y}
+	}
+	// Normalize into [0,w]x[0,h].
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	for i := range pos {
+		if maxX > minX {
+			pos[i][0] = (pos[i][0] - minX) / (maxX - minX) * w
+		} else {
+			pos[i][0] = w / 2
+		}
+		if maxY > minY {
+			pos[i][1] = (pos[i][1] - minY) / (maxY - minY) * h
+		} else {
+			pos[i][1] = h / 2
+		}
+	}
+	return pos
+}
+
+// subcubeColor assigns subcube v one of k evenly spaced pastel hues.
+func subcubeColor(v, k int) string {
+	if k <= 1 {
+		return "#cfe3f5"
+	}
+	hue := float64(v) / float64(k) * 360
+	r, g, b := hslToRGB(hue, 0.55, 0.82)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// hslToRGB converts HSL (h in degrees, s and l in [0,1]) to 8-bit RGB.
+func hslToRGB(h, s, l float64) (uint8, uint8, uint8) {
+	c := (1 - math.Abs(2*l-1)) * s
+	hp := h / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := l - c/2
+	to8 := func(v float64) uint8 { return uint8(math.Round((v + m) * 255)) }
+	return to8(r), to8(g), to8(b)
+}

@@ -1,0 +1,127 @@
+// Package plot renders experiment results as standalone SVG charts using
+// only the standard library — the repository's stand-in for the paper's
+// hand-drawn figures. The output is deterministic (no timestamps, no
+// randomness), so golden tests can pin it.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hypersort/internal/experiments"
+)
+
+// Geometry of the chart canvas.
+const (
+	width   = 860.0
+	height  = 540.0
+	marginL = 80.0
+	marginR = 230.0 // room for the legend
+	marginT = 50.0
+	marginB = 60.0
+)
+
+// palette holds line colors; series cycle through it.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// Fig7SVG renders a Figure 7 panel as a log-log line chart: one polyline
+// per series, thin solid lines for the fault-tolerant sort, thick dashed
+// lines for the fault-free subcube baselines, log-decade gridlines, and
+// a legend. It returns a complete standalone SVG document.
+func Fig7SVG(series []experiments.Fig7Series, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="28" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(title))
+
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		b.WriteString(`<text x="80" y="100" font-family="sans-serif" font-size="14">no data</text>` + "\n</svg>\n")
+		return b.String()
+	}
+
+	// Data ranges in log10 space.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := math.Log10(float64(p.M))
+			y := math.Log10(float64(p.Makespan))
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	sx := func(logx float64) float64 { return marginL + (logx-minX)/(maxX-minX)*plotW }
+	sy := func(logy float64) float64 { return marginT + plotH - (logy-minY)/(maxY-minY)*plotH }
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Decade gridlines and tick labels.
+	for e := math.Ceil(minX); e <= math.Floor(maxX)+1e-9; e++ {
+		x := sx(e)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">1e%d</text>`+"\n",
+			x, marginT+plotH+18, int(e))
+	}
+	for e := math.Ceil(minY); e <= math.Floor(maxY)+1e-9; e++ {
+		y := sy(e)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="end">1e%d</text>`+"\n",
+			marginL-6, y+4, int(e))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">number of keys M</text>`+"\n",
+		marginL+plotW/2, height-16)
+	fmt.Fprintf(&b, `<text x="20" y="%g" font-family="sans-serif" font-size="13" transform="rotate(-90 20 %g)" text-anchor="middle">simulated time</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2)
+
+	// Series polylines and legend.
+	legendY := marginT + 8
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		strokeW, dash := 1.5, ""
+		if s.Baseline {
+			strokeW, dash = 3.0, ` stroke-dasharray="7,4"`
+		}
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f",
+				sx(math.Log10(float64(p.M))), sy(math.Log10(float64(p.Makespan)))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%g"%s/>`+"\n",
+			strings.Join(pts, " "), color, strokeW, dash)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				sx(math.Log10(float64(p.M))), sy(math.Log10(float64(p.Makespan))), color)
+		}
+		// Legend entry.
+		lx := marginL + plotW + 14
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="%g"%s/>`+"\n",
+			lx, legendY, lx+26, legendY, color, strokeW, dash)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+32, legendY+4, escape(s.Label))
+		legendY += 20
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape performs minimal XML text escaping.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,167 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/experiments"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+)
+
+func sampleSeries() []experiments.Fig7Series {
+	return []experiments.Fig7Series{
+		{
+			Label: "ours n=4 r=1", R: 1, Dim: 4,
+			Points: []experiments.Fig7Point{{M: 1000, Makespan: 5000}, {M: 10000, Makespan: 52000}},
+		},
+		{
+			Label: "baseline fault-free Q_3", Dim: 3, Baseline: true,
+			Points: []experiments.Fig7Point{{M: 1000, Makespan: 8000}, {M: 10000, Makespan: 81000}},
+		},
+	}
+}
+
+func TestFig7SVGStructure(t *testing.T) {
+	svg := Fig7SVG(sampleSeries(), "test <panel> & more")
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"polyline",                 // data lines
+		"stroke-dasharray",         // baseline styling
+		"test &lt;panel&gt; &amp;", // escaped title
+		"ours n=4 r=1",             // legend entries
+		"baseline fault-free Q_3",
+		"1e3", "1e4", // decade ticks
+		"number of keys M",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series: two polylines.
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polyline count = %d", strings.Count(svg, "<polyline"))
+	}
+	// Four data points: four circles.
+	if strings.Count(svg, "<circle") != 4 {
+		t.Errorf("circle count = %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestFig7SVGDeterministic(t *testing.T) {
+	a := Fig7SVG(sampleSeries(), "t")
+	b := Fig7SVG(sampleSeries(), "t")
+	if a != b {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestFig7SVGEmpty(t *testing.T) {
+	svg := Fig7SVG(nil, "empty")
+	if !strings.Contains(svg, "no data") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart malformed")
+	}
+	svg = Fig7SVG([]experiments.Fig7Series{{Label: "x"}}, "empty points")
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty-points chart malformed")
+	}
+}
+
+func TestFig7SVGDegenerateRange(t *testing.T) {
+	// A single point must not divide by zero.
+	s := []experiments.Fig7Series{{
+		Label:  "single",
+		Points: []experiments.Fig7Point{{M: 100, Makespan: machine.Time(100)}},
+	}}
+	svg := Fig7SVG(s, "one point")
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single point not rendered")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestFig7SVGFromRealExperiment(t *testing.T) {
+	series, err := experiments.Fig7(experiments.Fig7Config{N: 3, Ms: []int{200, 800}, TrialsPerPoint: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := Fig7SVG(series, "real")
+	if strings.Count(svg, "<polyline") != len(series) {
+		t.Errorf("expected %d polylines", len(series))
+	}
+}
+
+func TestPartitionSVG(t *testing.T) {
+	plan, err := partition.BuildPlan(5, cube.NewNodeSet(3, 5, 16, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := PartitionSVG(plan)
+	for _, want := range []string{"<svg", "</svg>", "D_β = (0, 1, 3)", "4 fault(s)", "4 dangling", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("partition SVG missing %q", want)
+		}
+	}
+	// 32 nodes, each a circle; faults add cross lines.
+	if strings.Count(svg, "<circle") != 32 {
+		t.Errorf("circle count = %d", strings.Count(svg, "<circle"))
+	}
+	// 80 edges on Q_5.
+	edgeLines := strings.Count(svg, "stroke=\"#bbb\"")
+	if edgeLines != 80 {
+		t.Errorf("edge count = %d, want 80", edgeLines)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN coordinates")
+	}
+}
+
+func TestPartitionSVGTrivialPlans(t *testing.T) {
+	for _, faults := range []cube.NodeSet{nil, cube.NewNodeSet(1)} {
+		plan, err := partition.BuildPlan(2, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svg := PartitionSVG(plan)
+		if !strings.Contains(svg, "</svg>") || strings.Contains(svg, "NaN") {
+			t.Errorf("trivial plan SVG malformed")
+		}
+	}
+}
+
+func TestLayoutCubeDistinctPositions(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		pos := layoutCube(n, 600, 500)
+		seen := map[[2]float64]bool{}
+		for _, p := range pos {
+			if seen[p] {
+				t.Fatalf("Q_%d: duplicate node position %v", n, p)
+			}
+			seen[p] = true
+			if p[0] < -1 || p[0] > 601 || p[1] < -1 || p[1] > 501 {
+				t.Fatalf("Q_%d: position %v outside canvas", n, p)
+			}
+		}
+	}
+}
+
+func TestHSLToRGB(t *testing.T) {
+	r, g, b := hslToRGB(0, 1, 0.5)
+	if r != 255 || g != 0 || b != 0 {
+		t.Errorf("red = %d,%d,%d", r, g, b)
+	}
+	r, g, b = hslToRGB(120, 1, 0.5)
+	if r != 0 || g != 255 || b != 0 {
+		t.Errorf("green = %d,%d,%d", r, g, b)
+	}
+	r, g, b = hslToRGB(240, 1, 0.5)
+	if r != 0 || g != 0 || b != 255 {
+		t.Errorf("blue = %d,%d,%d", r, g, b)
+	}
+	if c := subcubeColor(0, 1); c != "#cfe3f5" {
+		t.Errorf("single subcube color = %s", c)
+	}
+}

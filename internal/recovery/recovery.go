@@ -1,0 +1,136 @@
+// Package recovery extends the paper's static-fault model to faults that
+// strike *during* a sort. The paper assumes the fault set is known before
+// the algorithm starts (off-line diagnosis); when a processor dies
+// mid-run, the natural policy in that framework is detect → re-diagnose →
+// re-partition → restart, since the algorithm's intermediate state on a
+// newly faulty machine is not salvageable without checkpointing the keys.
+//
+// The package models that policy as a renewal process over the simulated
+// machine: failures arrive with exponentially distributed inter-arrival
+// times in *virtual* time; an attempt whose makespan exceeds the next
+// arrival is charged the wasted time, the victim joins the fault set, and
+// the sort restarts on the degraded machine with a fresh partition plan.
+// The process ends when an attempt completes before the next failure, or
+// when the fault set stops admitting a single-fault partition.
+package recovery
+
+import (
+	"fmt"
+	"math"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/xrand"
+)
+
+// Config parameterizes a recovery session.
+type Config struct {
+	// Dim is the hypercube dimension.
+	Dim int
+	// InitialFaults are the faults known before the first attempt.
+	InitialFaults cube.NodeSet
+	// MTBF is the mean (virtual) time between failures. Zero disables
+	// injection entirely (the session reduces to one plain sort).
+	MTBF machine.Time
+	// Model and Cost configure the machine as in machine.Config.
+	Model machine.FaultModel
+	Cost  machine.CostModel
+	// MaxAttempts caps restarts (0 means 1 + Dim attempts, enough to
+	// exhaust the guarantee band).
+	MaxAttempts int
+	// Seed drives the failure process.
+	Seed uint64
+}
+
+// Result summarizes a session.
+type Result struct {
+	// Sorted is the final output.
+	Sorted []sortutil.Key
+	// Attempts counts sorts started (>= 1).
+	Attempts int
+	// Wasted is virtual time burned by attempts a failure interrupted.
+	Wasted machine.Time
+	// FinalSort is the successful attempt's makespan.
+	FinalSort machine.Time
+	// Total is Wasted + FinalSort: time-to-sorted including restarts.
+	Total machine.Time
+	// Faults is the final fault set, including mid-run casualties.
+	Faults []cube.NodeID
+}
+
+// Run executes the detect/re-partition/restart loop.
+func Run(cfg Config, keys []sortutil.Key) (Result, error) {
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = cfg.Dim + 1
+	}
+	rng := xrand.New(cfg.Seed)
+	faults := cfg.InitialFaults.Clone()
+	if faults == nil {
+		faults = cube.NewNodeSet()
+	}
+	var res Result
+	for {
+		if res.Attempts >= cfg.MaxAttempts {
+			return res, fmt.Errorf("recovery: gave up after %d attempts (faults %v)", res.Attempts, faults.Sorted())
+		}
+		plan, err := partition.BuildPlan(cfg.Dim, faults)
+		if err != nil {
+			return res, fmt.Errorf("recovery: machine no longer partitionable: %w", err)
+		}
+		m, err := machine.New(machine.Config{Dim: cfg.Dim, Faults: faults, Model: cfg.Model, Cost: cfg.Cost})
+		if err != nil {
+			return res, err
+		}
+		sorted, runRes, err := core.FTSort(m, plan, keys)
+		if err != nil {
+			return res, err
+		}
+		res.Attempts++
+
+		nextFailure := sampleFailure(cfg.MTBF, rng)
+		if nextFailure <= 0 || nextFailure >= runRes.Makespan {
+			// The attempt outran the failure process.
+			res.Sorted = sorted
+			res.FinalSort = runRes.Makespan
+			res.Total = res.Wasted + runRes.Makespan
+			res.Faults = faults.Sorted()
+			return res, nil
+		}
+		// A processor died mid-run: charge the wasted time, pick a
+		// uniformly random healthy victim, and restart.
+		res.Wasted += nextFailure
+		healthy := healthyNodes(cfg.Dim, faults)
+		if len(healthy) == 0 {
+			return res, fmt.Errorf("recovery: no healthy processors left")
+		}
+		victim := healthy[rng.IntN(len(healthy))]
+		faults.Add(victim)
+	}
+}
+
+// sampleFailure draws an exponential inter-arrival time with the given
+// mean; mtbf <= 0 means "never" (returns 0, interpreted as no failure).
+func sampleFailure(mtbf machine.Time, rng *xrand.RNG) machine.Time {
+	if mtbf <= 0 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return machine.Time(math.Ceil(-float64(mtbf) * math.Log(u)))
+}
+
+// healthyNodes lists the fault-free processor addresses.
+func healthyNodes(n int, faults cube.NodeSet) []cube.NodeID {
+	out := make([]cube.NodeID, 0, 1<<n)
+	for id := cube.NodeID(0); id < cube.NodeID(1<<n); id++ {
+		if !faults.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

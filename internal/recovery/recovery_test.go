@@ -1,0 +1,176 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+func keys(n int, seed uint64) []sortutil.Key {
+	return workload.MustGenerate(workload.Uniform, n, xrand.New(seed))
+}
+
+func TestRunNoFailures(t *testing.T) {
+	// MTBF 0 disables injection: exactly one attempt, no waste.
+	in := keys(300, 1)
+	res, err := Run(Config{Dim: 4, MTBF: 0, Seed: 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || res.Wasted != 0 {
+		t.Errorf("attempts=%d wasted=%d", res.Attempts, res.Wasted)
+	}
+	if res.Total != res.FinalSort {
+		t.Error("total != final sort with no failures")
+	}
+	if !sortutil.IsSorted(res.Sorted, sortutil.Ascending) || !sortutil.SameMultiset(res.Sorted, in) {
+		t.Error("wrong sort result")
+	}
+}
+
+func TestRunHugeMTBFOneAttempt(t *testing.T) {
+	in := keys(300, 2)
+	res, err := Run(Config{Dim: 4, MTBF: 1 << 40, Seed: 2}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d with enormous MTBF", res.Attempts)
+	}
+}
+
+func TestRunTinyMTBFRetries(t *testing.T) {
+	// MTBF far below the sort time forces at least one restart; with
+	// MaxAttempts = Dim+1 the session either succeeds on a degraded
+	// machine or reports giving up.
+	in := keys(2000, 3)
+	res, err := Run(Config{Dim: 5, MTBF: 200, Seed: 3}, in)
+	if err != nil {
+		// Giving up is legitimate at this failure rate; the partial
+		// result must still carry the attempt accounting.
+		if res.Attempts == 0 {
+			t.Error("error with zero attempts recorded")
+		}
+		return
+	}
+	if res.Attempts < 2 {
+		t.Errorf("attempts = %d, expected restarts at MTBF far below sort time", res.Attempts)
+	}
+	if res.Wasted <= 0 {
+		t.Error("restarts recorded but no wasted time")
+	}
+	if res.Total != res.Wasted+res.FinalSort {
+		t.Error("total != wasted + final")
+	}
+	if len(res.Faults) < res.Attempts-1 {
+		t.Errorf("faults %v fewer than attempts-1 = %d", res.Faults, res.Attempts-1)
+	}
+	if !sortutil.IsSorted(res.Sorted, sortutil.Ascending) || !sortutil.SameMultiset(res.Sorted, in) {
+		t.Error("wrong sort result after recovery")
+	}
+}
+
+func TestRunWithInitialFaults(t *testing.T) {
+	in := keys(200, 4)
+	initial := cube.NewNodeSet(3, 9)
+	res, err := Run(Config{Dim: 4, InitialFaults: initial, MTBF: 0, Seed: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != 2 {
+		t.Errorf("faults = %v", res.Faults)
+	}
+	// The caller's set must not be mutated.
+	if len(initial) != 2 {
+		t.Error("initial fault set mutated")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	in := keys(1500, 5)
+	cfg := Config{Dim: 5, MTBF: 3000, Seed: 42}
+	a, errA := Run(cfg, in)
+	b, errB := Run(cfg, in)
+	if (errA == nil) != (errB == nil) {
+		t.Fatal("determinism broken in error path")
+	}
+	if a.Attempts != b.Attempts || a.Total != b.Total || a.Wasted != b.Wasted {
+		t.Errorf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunGivesUp(t *testing.T) {
+	in := keys(4000, 6)
+	// MTBF of 1: a failure lands inside every attempt; the session must
+	// exhaust MaxAttempts and report it.
+	_, err := Run(Config{Dim: 3, MTBF: 1, MaxAttempts: 3, Seed: 7}, in)
+	if err == nil {
+		t.Fatal("expected give-up error")
+	}
+	if !strings.Contains(err.Error(), "gave up") && !strings.Contains(err.Error(), "partitionable") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSampleFailure(t *testing.T) {
+	rng := xrand.New(8)
+	if sampleFailure(0, rng) != 0 || sampleFailure(-5, rng) != 0 {
+		t.Error("disabled MTBF should sample 0")
+	}
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v := sampleFailure(1000, rng)
+		if v <= 0 {
+			t.Fatal("non-positive sample")
+		}
+		sum += float64(v)
+	}
+	mean := sum / trials
+	if mean < 900 || mean > 1100 {
+		t.Errorf("sample mean %v far from MTBF 1000", mean)
+	}
+}
+
+func TestHealthyNodes(t *testing.T) {
+	h := healthyNodes(3, cube.NewNodeSet(0, 7))
+	if len(h) != 6 {
+		t.Errorf("healthy = %v", h)
+	}
+	for _, id := range h {
+		if id == 0 || id == 7 {
+			t.Error("faulty node listed healthy")
+		}
+	}
+}
+
+func TestRunCustomCostAndModel(t *testing.T) {
+	in := keys(200, 9)
+	res, err := Run(Config{
+		Dim:   4,
+		MTBF:  0,
+		Model: machine.Total,
+		Cost:  machine.CostModel{Compare: 2, Elem: 5, Startup: 10},
+		Seed:  10,
+	}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalSort <= 0 {
+		t.Error("no time accounted")
+	}
+}
+
+func TestRunUnpartitionableInitialFaults(t *testing.T) {
+	// Faults 0 and 1 on Q_1 leave no working processor: BuildPlan cannot
+	// produce a plan and Run must surface that.
+	_, err := Run(Config{Dim: 1, InitialFaults: cube.NewNodeSet(0, 1), MTBF: 0, Seed: 1}, keys(10, 10))
+	if err == nil {
+		t.Error("unpartitionable machine accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/xrand"
+)
+
+func TestFaultAvoidingLinksDetour(t *testing.T) {
+	h := cube.New(3)
+	// Kill the direct link 000-001: the route must detour.
+	bad := cube.NewEdgeSet(cube.NewEdge(0b000, 0b001))
+	p, err := FaultAvoidingLinks(h, 0b000, 0b001, nil, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(0b000, 0b001) || !p.AvoidsLinkFaults(bad) {
+		t.Fatalf("bad path %v", p)
+	}
+	if p.Hops() < 3 {
+		t.Errorf("detour should cost >= 3 hops, got %d", p.Hops())
+	}
+}
+
+func TestFaultAvoidingLinksSelf(t *testing.T) {
+	h := cube.New(2)
+	p, err := FaultAvoidingLinks(h, 2, 2, nil, nil)
+	if err != nil || p.Hops() != 0 {
+		t.Errorf("self route = %v, %v", p, err)
+	}
+}
+
+func TestFaultAvoidingLinksNoPath(t *testing.T) {
+	h := cube.New(2)
+	// Isolate node 0: both its links dead.
+	bad := cube.NewEdgeSet(cube.NewEdge(0, 1), cube.NewEdge(0, 2))
+	_, err := FaultAvoidingLinks(h, 3, 0, nil, bad)
+	var noPath ErrNoPathLinks
+	if !errors.As(err, &noPath) {
+		t.Fatalf("want ErrNoPathLinks, got %v", err)
+	}
+	if noPath.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestLinkFaultConnectivityBound: the n-cube's edge connectivity is n, so
+// any n-1 dead links leave every pair routable.
+func TestLinkFaultConnectivityBound(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{3, 4, 5} {
+		h := cube.New(n)
+		for trial := 0; trial < 40; trial++ {
+			bad := cube.NewEdgeSet()
+			for len(bad) < n-1 {
+				a := cube.NodeID(r.IntN(h.Size()))
+				d := r.IntN(n)
+				bad.Add(a, h.Neighbor(a, d))
+			}
+			src := cube.NodeID(r.IntN(h.Size()))
+			dst := cube.NodeID(r.IntN(h.Size()))
+			p, err := FaultAvoidingLinks(h, src, dst, nil, bad)
+			if err != nil {
+				t.Fatalf("n=%d links=%v: %v", n, bad.Sorted(), err)
+			}
+			if !p.Valid(src, dst) || !p.AvoidsLinkFaults(bad) {
+				t.Fatalf("n=%d: invalid path %v", n, p)
+			}
+		}
+	}
+}
+
+func TestFaultAvoidingLinksRespectsNodeFaultsToo(t *testing.T) {
+	h := cube.New(3)
+	nodeFaults := cube.NewNodeSet(0b001)
+	linkFaults := cube.NewEdgeSet(cube.NewEdge(0b000, 0b010))
+	p, err := FaultAvoidingLinks(h, 0b000, 0b011, nodeFaults, linkFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AvoidsFaults(nodeFaults) || !p.AvoidsLinkFaults(linkFaults) {
+		t.Fatalf("path %v crosses a fault", p)
+	}
+}
+
+func TestLinkAwareRouter(t *testing.T) {
+	h := cube.New(3)
+	rt := NewLinkAwareRouter(h, nil, cube.NewEdgeSet(cube.NewEdge(0, 1)))
+	if rt.Name() != "link-aware" {
+		t.Error("name wrong")
+	}
+	p, err := rt.Route(0, 1)
+	if err != nil || p.Hops() < 3 {
+		t.Errorf("route = %v, %v", p, err)
+	}
+	// nil sets accepted.
+	rt2 := NewLinkAwareRouter(h, nil, nil)
+	if p, err := rt2.Route(0, 7); err != nil || p.Hops() != 3 {
+		t.Errorf("fault-free link-aware route = %v, %v", p, err)
+	}
+}
+
+func TestPathAvoidsLinkFaults(t *testing.T) {
+	bad := cube.NewEdgeSet(cube.NewEdge(1, 3))
+	if (Path{0, 1, 3}).AvoidsLinkFaults(bad) {
+		t.Error("path over dead link accepted")
+	}
+	if !(Path{0, 2, 3}).AvoidsLinkFaults(bad) {
+		t.Error("clean path rejected")
+	}
+}

@@ -1,0 +1,188 @@
+// Package routing computes message paths on (possibly faulty) hypercubes.
+//
+// Two routers are provided, matching the paper's two fault models (§4):
+//
+//   - ECube: classic dimension-order (e-cube) routing, the algorithm the
+//     NCUBE/7's VERTEX operating system uses. It ignores faults, which is
+//     exactly the *partial fault* model — a faulty processor's compute
+//     portion is dead but its communication portion still forwards
+//     messages.
+//   - FaultAvoiding: a depth-first adaptive router in the spirit of
+//     Chen & Shin (IEEE ToC 1990, the paper's reference [7]) that refuses
+//     to traverse faulty processors entirely — the *total fault* model.
+//     It prefers profitable dimensions (those reducing Hamming distance)
+//     and backtracks out of dead ends, so it finds a fault-free path
+//     whenever one exists.
+//
+// Paths are returned as node sequences including both endpoints; the hop
+// count of a path of length L nodes is L-1.
+package routing
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+)
+
+// Path is a walk on the hypercube: consecutive entries are neighbors.
+type Path []cube.NodeID
+
+// Hops returns the number of edges traversed.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Valid reports whether p is a genuine hypercube walk from src to dst:
+// non-empty, correct endpoints, and unit Hamming distance per step.
+func (p Path) Valid(src, dst cube.NodeID) bool {
+	if len(p) == 0 || p[0] != src || p[len(p)-1] != dst {
+		return false
+	}
+	for i := 1; i < len(p); i++ {
+		if cube.HammingDistance(p[i-1], p[i]) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// AvoidsFaults reports whether no *intermediate* node of the path is
+// faulty. Endpoints are exempt: a partially faulty endpoint can still
+// source or sink a message in the paper's model, and callers never route
+// to totally faulty nodes in the first place.
+func (p Path) AvoidsFaults(faults cube.NodeSet) bool {
+	for i := 1; i < len(p)-1; i++ {
+		if faults.Has(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ECube returns the dimension-order route from src to dst: correct the
+// differing address bits from dimension 0 upward. The path has exactly
+// HammingDistance(src, dst) hops and ignores faults (partial-fault model).
+func ECube(h cube.Hypercube, src, dst cube.NodeID) Path {
+	path := Path{src}
+	cur := src
+	for d := 0; d < h.Dim(); d++ {
+		if cube.Bit(cur, d) != cube.Bit(dst, d) {
+			cur = cube.FlipBit(cur, d)
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// ErrNoPath is returned when the fault-avoiding router cannot reach dst
+// without crossing a faulty processor.
+type ErrNoPath struct {
+	Src, Dst cube.NodeID
+}
+
+func (e ErrNoPath) Error() string {
+	return fmt.Sprintf("routing: no fault-free path from %d to %d", e.Src, e.Dst)
+}
+
+// FaultAvoiding returns a path from src to dst that never traverses a
+// faulty intermediate node, using depth-first search that greedily prefers
+// profitable dimensions (lowest first, mirroring e-cube's order) before
+// spilling to misrouting dimensions. Endpoints may be faulty (partial
+// endpoints source/sink their own traffic); every intermediate node is
+// guaranteed fault-free. It returns ErrNoPath if the fault set
+// disconnects the pair.
+//
+// The search is complete: with backtracking over all n dimensions it
+// explores the whole fault-free component if necessary, so failure really
+// means no path exists. With r <= n-1 faults a hypercube minus its faults
+// is always connected, so in the paper's regime FaultAvoiding always
+// succeeds.
+func FaultAvoiding(h cube.Hypercube, src, dst cube.NodeID, faults cube.NodeSet) (Path, error) {
+	if src == dst {
+		return Path{src}, nil
+	}
+	visited := make(map[cube.NodeID]bool, h.Size())
+	visited[src] = true
+	path := Path{src}
+	if p := dfsAvoid(h, src, dst, faults, visited, path); p != nil {
+		return p, nil
+	}
+	return nil, ErrNoPath{Src: src, Dst: dst}
+}
+
+// dfsAvoid extends path from cur toward dst, returning the completed path
+// or nil. Profitable dimensions (bits where cur and dst differ) are tried
+// in ascending order first, then the remaining dimensions as detours.
+func dfsAvoid(h cube.Hypercube, cur, dst cube.NodeID, faults cube.NodeSet, visited map[cube.NodeID]bool, path Path) Path {
+	// Order candidate dimensions: profitable first (ascending), then
+	// detours (ascending).
+	profitable := cube.DifferingDims(cur, dst)
+	inProfit := make(map[int]bool, len(profitable))
+	for _, d := range profitable {
+		inProfit[d] = true
+	}
+	order := append([]int(nil), profitable...)
+	for d := 0; d < h.Dim(); d++ {
+		if !inProfit[d] {
+			order = append(order, d)
+		}
+	}
+	for _, d := range order {
+		next := cube.FlipBit(cur, d)
+		if next == dst {
+			return append(path, next)
+		}
+		if visited[next] || faults.Has(next) {
+			continue
+		}
+		visited[next] = true
+		if p := dfsAvoid(h, next, dst, faults, visited, append(path, next)); p != nil {
+			return p
+		}
+		// Leave next marked visited: any path through it has been fully
+		// explored from this search's perspective.
+	}
+	return nil
+}
+
+// Router selects and runs one of the two routing disciplines.
+type Router interface {
+	// Route returns the path a message takes from src to dst.
+	Route(src, dst cube.NodeID) (Path, error)
+	// Name identifies the discipline for reports.
+	Name() string
+}
+
+// ecubeRouter implements Router over ECube.
+type ecubeRouter struct{ h cube.Hypercube }
+
+// NewECubeRouter returns the VERTEX-style dimension-order router
+// (partial-fault model: messages may pass through faulty processors).
+func NewECubeRouter(h cube.Hypercube) Router { return ecubeRouter{h: h} }
+
+func (r ecubeRouter) Route(src, dst cube.NodeID) (Path, error) {
+	return ECube(r.h, src, dst), nil
+}
+
+func (r ecubeRouter) Name() string { return "e-cube" }
+
+// avoidRouter implements Router over FaultAvoiding with a fixed fault set.
+type avoidRouter struct {
+	h      cube.Hypercube
+	faults cube.NodeSet
+}
+
+// NewFaultAvoidingRouter returns the adaptive router for the total-fault
+// model: paths never cross the given faulty processors.
+func NewFaultAvoidingRouter(h cube.Hypercube, faults cube.NodeSet) Router {
+	return avoidRouter{h: h, faults: faults.Clone()}
+}
+
+func (r avoidRouter) Route(src, dst cube.NodeID) (Path, error) {
+	return FaultAvoiding(r.h, src, dst, r.faults)
+}
+
+func (r avoidRouter) Name() string { return "fault-avoiding" }

@@ -1,0 +1,202 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/xrand"
+)
+
+func TestECubeBasics(t *testing.T) {
+	h := cube.New(4)
+	p := ECube(h, 0b0000, 0b1011)
+	if !p.Valid(0b0000, 0b1011) {
+		t.Fatalf("invalid path %v", p)
+	}
+	if p.Hops() != 3 {
+		t.Errorf("hops = %d, want 3", p.Hops())
+	}
+	// Dimension order: bits corrected 0, 1, 3.
+	want := Path{0b0000, 0b0001, 0b0011, 0b1011}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestECubeSelf(t *testing.T) {
+	h := cube.New(3)
+	p := ECube(h, 5, 5)
+	if p.Hops() != 0 || !p.Valid(5, 5) {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestECubeShortestProperty(t *testing.T) {
+	h := cube.New(6)
+	r := xrand.New(1)
+	for trial := 0; trial < 500; trial++ {
+		src := cube.NodeID(r.IntN(64))
+		dst := cube.NodeID(r.IntN(64))
+		p := ECube(h, src, dst)
+		if !p.Valid(src, dst) {
+			t.Fatalf("invalid e-cube path %v", p)
+		}
+		if p.Hops() != cube.HammingDistance(src, dst) {
+			t.Fatalf("e-cube path not shortest: %v", p)
+		}
+	}
+}
+
+func TestPathValidRejects(t *testing.T) {
+	if (Path{}).Valid(0, 0) {
+		t.Error("empty path valid")
+	}
+	if (Path{1, 2}).Valid(0, 2) {
+		t.Error("wrong src accepted")
+	}
+	if (Path{0, 3}).Valid(0, 3) {
+		t.Error("non-adjacent step accepted")
+	}
+	if (Path{0}).Hops() != 0 || (Path(nil)).Hops() != 0 {
+		t.Error("Hops of trivial paths wrong")
+	}
+}
+
+func TestAvoidsFaults(t *testing.T) {
+	faults := cube.NewNodeSet(1)
+	if (Path{0, 1, 3}).AvoidsFaults(faults) {
+		t.Error("path through faulty intermediate accepted")
+	}
+	// Faulty endpoints are exempt.
+	if !(Path{1, 3}).AvoidsFaults(faults) {
+		t.Error("faulty endpoint should be exempt")
+	}
+}
+
+func TestFaultAvoidingDetours(t *testing.T) {
+	h := cube.New(3)
+	// Route 000 -> 011 with 001 and 010 faulty: both shortest paths are
+	// blocked, so the router must detour (e.g. through dimension 2).
+	faults := cube.NewNodeSet(0b001, 0b010)
+	p, err := FaultAvoiding(h, 0b000, 0b011, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(0b000, 0b011) || !p.AvoidsFaults(faults) {
+		t.Fatalf("bad detour path %v", p)
+	}
+	if p.Hops() < 4 {
+		t.Errorf("detour should cost extra hops, got %d", p.Hops())
+	}
+}
+
+func TestFaultAvoidingSelfAndAdjacent(t *testing.T) {
+	h := cube.New(3)
+	p, err := FaultAvoiding(h, 2, 2, nil)
+	if err != nil || p.Hops() != 0 {
+		t.Errorf("self route = %v, %v", p, err)
+	}
+	// Adjacent nodes connect directly even when everything else is faulty.
+	faults := cube.NewNodeSet(0b010, 0b100, 0b011, 0b101, 0b110, 0b111)
+	p, err = FaultAvoiding(h, 0b000, 0b001, faults)
+	if err != nil {
+		t.Fatalf("unexpected no-path: %v", err)
+	}
+	if !p.Valid(0b000, 0b001) || p.Hops() != 1 {
+		t.Fatalf("adjacent path = %v", p)
+	}
+}
+
+func TestFaultAvoidingNoPath(t *testing.T) {
+	h := cube.New(3)
+	// Surround node 0 with its three neighbors faulty: unreachable.
+	faults := cube.NewNodeSet(0b001, 0b010, 0b100)
+	_, err := FaultAvoiding(h, 0b111, 0b000, faults)
+	var noPath ErrNoPath
+	if !errors.As(err, &noPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if noPath.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestFaultAvoidingCompleteUnderPaperRegime: with r <= n-1 faults the
+// fault-free survivors of Q_n stay connected, so routing between any two
+// healthy nodes must always succeed and avoid all faults.
+func TestFaultAvoidingCompleteUnderPaperRegime(t *testing.T) {
+	r := xrand.New(7)
+	for _, n := range []int{3, 4, 5} {
+		h := cube.New(n)
+		for trial := 0; trial < 60; trial++ {
+			nf := 1 + r.IntN(n-1) // 1..n-1 faults
+			faults := cube.NewNodeSet()
+			for _, f := range r.Sample(h.Size(), nf) {
+				faults.Add(cube.NodeID(f))
+			}
+			healthy := make([]cube.NodeID, 0, h.Size())
+			for id := cube.NodeID(0); id < cube.NodeID(h.Size()); id++ {
+				if !faults.Has(id) {
+					healthy = append(healthy, id)
+				}
+			}
+			src := healthy[r.IntN(len(healthy))]
+			dst := healthy[r.IntN(len(healthy))]
+			p, err := FaultAvoiding(h, src, dst, faults)
+			if err != nil {
+				t.Fatalf("n=%d faults=%v: %v", n, faults.Sorted(), err)
+			}
+			if !p.Valid(src, dst) || !p.AvoidsFaults(faults) {
+				t.Fatalf("n=%d: invalid avoiding path %v (faults %v)", n, p, faults.Sorted())
+			}
+		}
+	}
+}
+
+func TestFaultAvoidingMatchesECubeWhenFaultFree(t *testing.T) {
+	h := cube.New(5)
+	r := xrand.New(11)
+	for trial := 0; trial < 200; trial++ {
+		src := cube.NodeID(r.IntN(32))
+		dst := cube.NodeID(r.IntN(32))
+		p, err := FaultAvoiding(h, src, dst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With no faults the greedy profitable-first order is exactly
+		// e-cube, so the path must be shortest.
+		if p.Hops() != cube.HammingDistance(src, dst) {
+			t.Fatalf("fault-free avoiding path not shortest: %v", p)
+		}
+	}
+}
+
+func TestRouterInterfaces(t *testing.T) {
+	h := cube.New(4)
+	ec := NewECubeRouter(h)
+	if ec.Name() != "e-cube" {
+		t.Error("name wrong")
+	}
+	p, err := ec.Route(0, 15)
+	if err != nil || p.Hops() != 4 {
+		t.Errorf("e-cube route = %v, %v", p, err)
+	}
+	faults := cube.NewNodeSet(1)
+	av := NewFaultAvoidingRouter(h, faults)
+	if av.Name() != "fault-avoiding" {
+		t.Error("name wrong")
+	}
+	p, err = av.Route(0, 3)
+	if err != nil || !p.AvoidsFaults(faults) {
+		t.Errorf("avoiding route = %v, %v", p, err)
+	}
+	// The router must have cloned the fault set.
+	faults.Add(2)
+	p, _ = av.Route(0, 3)
+	if !p.Valid(0, 3) {
+		t.Error("router affected by caller mutating fault set is fine, but path must stay valid")
+	}
+}

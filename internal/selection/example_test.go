@@ -1,0 +1,31 @@
+package selection_test
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/selection"
+	"hypersort/internal/sortutil"
+)
+
+// Example finds the median of a small key set on a hypercube with one
+// faulty processor, without sorting.
+func Example() {
+	faults := cube.NewNodeSet(2)
+	plan, err := partition.BuildPlan(3, faults)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := machine.MustNew(machine.Config{Dim: 3, Faults: faults})
+	keys := []sortutil.Key{40, 10, 30, 70, 20, 60, 50}
+	median, _, err := selection.Median(m, plan, keys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("median:", median)
+	// Output: median: 40
+}

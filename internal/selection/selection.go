@@ -1,0 +1,159 @@
+// Package selection finds order statistics on the faulty hypercube
+// without fully sorting — the companion problem of the paper's authors
+// (their reference [17], "Selection of the First k Largest Processes in
+// Hypercubes", Sheu, Wu & Chen, Parallel Computing 1989), rebuilt on this
+// repository's fault-tolerant substrate.
+//
+// The algorithm is a distributed binary search over the key domain: the
+// working processors of the partition hold the keys exactly as the
+// fault-tolerant sort would distribute them, and each round an AllReduce
+// counts how many keys fall below the probe. Because keys are int64, at
+// most 64 rounds resolve any rank, each costing one O(log N') reduction
+// of a single value — far cheaper than sorting when only a few order
+// statistics are needed. The same partition layout (dead processors
+// skipped, dangling idled) provides the fault tolerance.
+package selection
+
+import (
+	"fmt"
+	"sort"
+
+	"hypersort/internal/collective"
+	"hypersort/internal/core"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+)
+
+// KthSmallest distributes keys over the plan's working processors and
+// returns the k-th smallest key (1-based), computed by distributed
+// binary search with AllReduce rank counts. It returns the simulated run
+// cost alongside. k must be in [1, len(keys)].
+func KthSmallest(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int) (sortutil.Key, machine.Result, error) {
+	if k < 1 || k > len(keys) {
+		return 0, machine.Result{}, fmt.Errorf("selection: rank %d outside [1, %d]", k, len(keys))
+	}
+	layout := core.NewLayout(plan)
+	shares, err := workload.Distribute(keys, len(layout.Working))
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	group, err := collective.NewGroup(layout.Working)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	results := make([]sortutil.Key, len(layout.Working))
+	res, err := m.Run(layout.Working, func(p *machine.Proc) error {
+		slot := layout.SlotOf[p.ID()]
+		mine := sortutil.Clone(shares[slot])
+		var tag machine.Tag
+
+		// Sort the local chunk once so each round's rank count is a
+		// binary search instead of a scan — this is what keeps selection
+		// cheaper than the full distributed sort.
+		sortutil.HeapSort(mine, sortutil.Ascending)
+		p.Compute(localSortCost(len(mine)))
+
+		// Narrow the search interval to the global key range first
+		// (uniform 40-bit keys would otherwise waste ~24 rounds walking
+		// down from the int64 extremes). Dummy padding keys are Inf and
+		// excluded (k <= len(keys) real keys).
+		real := mine[:sortutil.CountReal(mine)]
+		localLo, localHi := int64(sortutil.Inf-1), int64(sortutil.NegInf)
+		if len(real) > 0 {
+			localLo, localHi = int64(real[0]), int64(real[len(real)-1])
+		}
+		lo := collective.AllReduce(p, group, tag+1, localLo, collective.Min)
+		hi := collective.AllReduce(p, group, tag+5, localHi, collective.Max)
+		tag += 8
+
+		// Binary search: find the smallest value x with
+		// |{keys <= x}| >= k.
+		for lo < hi {
+			// The unsigned difference stays exact even when hi-lo
+			// exceeds MaxInt64.
+			mid := lo + int64((uint64(hi)-uint64(lo))/2)
+			count := int64(sort.Search(len(real), func(i int) bool {
+				return int64(real[i]) > mid
+			}))
+			p.Compute(ceilLog2(len(real)))
+			tag += 4
+			total := collective.AllReduce(p, group, tag, count, collective.Sum)
+			if total >= int64(k) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		results[slot] = sortutil.Key(lo)
+		return nil
+	})
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	// AllReduce keeps every processor in agreement; take slot 0's answer.
+	return results[0], res, nil
+}
+
+// localSortCost is the paper's heapsort comparison bound for k keys.
+func localSortCost(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return (k-1)*ceilLog2(k) + 1
+}
+
+// ceilLog2 returns ceil(log2 k) for k >= 1, and 1 for k <= 1 (one probe).
+func ceilLog2(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	log := 0
+	for v := k - 1; v > 0; v >>= 1 {
+		log++
+	}
+	return log
+}
+
+// Median returns the lower median (rank ceil(n/2)) of keys on the faulty
+// machine.
+func Median(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key) (sortutil.Key, machine.Result, error) {
+	if len(keys) == 0 {
+		return 0, machine.Result{}, fmt.Errorf("selection: median of no keys")
+	}
+	return KthSmallest(m, plan, keys, (len(keys)+1)/2)
+}
+
+// TopK returns the k largest keys in ascending order. It resolves the
+// threshold with one KthSmallest call and then gathers the keys above it
+// — a second pass over local data plus one gather, still far below a
+// full sort for small k.
+func TopK(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int) ([]sortutil.Key, machine.Result, error) {
+	if k < 0 || k > len(keys) {
+		return nil, machine.Result{}, fmt.Errorf("selection: top-%d outside [0, %d]", k, len(keys))
+	}
+	if k == 0 {
+		return nil, machine.Result{}, nil
+	}
+	threshold, res, err := KthSmallest(m, plan, keys, len(keys)-k+1)
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	// Host-side selection pass: keys strictly above the threshold all
+	// belong; ties at the threshold fill the remainder. (The distributed
+	// run resolved the threshold; this pass is the O(M) filter the host
+	// performs while collecting results.)
+	var above, ties []sortutil.Key
+	for _, key := range keys {
+		if key > threshold {
+			above = append(above, key)
+		} else if key == threshold {
+			ties = append(ties, key)
+		}
+	}
+	need := k - len(above)
+	out := append(above, ties[:need]...)
+	sortutil.HeapSort(out, sortutil.Ascending)
+	return out, res, nil
+}

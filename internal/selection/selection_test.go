@@ -1,0 +1,155 @@
+package selection
+
+import (
+	"sort"
+	"testing"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+func setup(t *testing.T, n int, faults cube.NodeSet) (*machine.Machine, *partition.Plan) {
+	t.Helper()
+	plan, err := partition.BuildPlan(n, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine.MustNew(machine.Config{Dim: n, Faults: faults}), plan
+}
+
+// refKth is the sequential specification.
+func refKth(keys []sortutil.Key, k int) sortutil.Key {
+	s := sortutil.Clone(keys)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[k-1]
+}
+
+func TestKthSmallestMatchesReference(t *testing.T) {
+	r := xrand.New(1)
+	m, plan := setup(t, 4, cube.NewNodeSet(3, 9))
+	for trial := 0; trial < 20; trial++ {
+		keys := workload.MustGenerate(workload.Uniform, 50+r.IntN(200), r)
+		k := 1 + r.IntN(len(keys))
+		got, res, err := KthSmallest(m, plan, keys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refKth(keys, k); got != want {
+			t.Fatalf("trial %d: kth(%d) = %d, want %d", trial, k, got, want)
+		}
+		if res.Makespan <= 0 {
+			t.Fatal("no cost accounted")
+		}
+	}
+}
+
+func TestKthSmallestExtremes(t *testing.T) {
+	m, plan := setup(t, 3, cube.NewNodeSet(5))
+	keys := workload.MustGenerate(workload.Uniform, 100, xrand.New(2))
+	minGot, _, err := KthSmallest(m, plan, keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxGot, _, err := KthSmallest(m, plan, keys, len(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minGot != refKth(keys, 1) || maxGot != refKth(keys, len(keys)) {
+		t.Errorf("extremes wrong: %d, %d", minGot, maxGot)
+	}
+}
+
+func TestKthSmallestNegativeKeys(t *testing.T) {
+	m, plan := setup(t, 3, nil)
+	keys := []sortutil.Key{-50, -1, 0, 3, -7, 12, -50, 8}
+	for k := 1; k <= len(keys); k++ {
+		got, _, err := KthSmallest(m, plan, keys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refKth(keys, k); got != want {
+			t.Fatalf("k=%d: got %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestKthSmallestBadRank(t *testing.T) {
+	m, plan := setup(t, 3, nil)
+	keys := []sortutil.Key{1, 2, 3}
+	if _, _, err := KthSmallest(m, plan, keys, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, _, err := KthSmallest(m, plan, keys, 4); err == nil {
+		t.Error("rank beyond n accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, plan := setup(t, 4, cube.NewNodeSet(0, 6, 9))
+	keys := workload.MustGenerate(workload.Uniform, 201, xrand.New(3))
+	got, _, err := Median(m, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refKth(keys, 101); got != want {
+		t.Errorf("median = %d, want %d", got, want)
+	}
+	if _, _, err := Median(m, plan, nil); err == nil {
+		t.Error("empty median accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := xrand.New(4)
+	m, plan := setup(t, 4, cube.NewNodeSet(2))
+	keys := workload.MustGenerate(workload.FewDistinct, 300, r) // heavy ties
+	for _, k := range []int{0, 1, 5, 50, 300} {
+		got, _, err := TopK(m, plan, keys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("top-%d returned %d keys", k, len(got))
+		}
+		// Reference: the k largest, ascending.
+		s := sortutil.Clone(keys)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		want := s[len(s)-k:]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("top-%d mismatch at %d: %v vs %v", k, i, got, want)
+			}
+		}
+	}
+	if _, _, err := TopK(m, plan, keys, 301); err == nil {
+		t.Error("oversized k accepted")
+	}
+}
+
+// TestSelectionCheaperThanSort verifies the point of the package: one
+// order statistic costs far less simulated time than the full sort.
+func TestSelectionCheaperThanSort(t *testing.T) {
+	faults := cube.NewNodeSet(3, 17)
+	plan, err := partition.BuildPlan(5, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Config{Dim: 5, Faults: faults})
+	keys := workload.MustGenerate(workload.Uniform, 20000, xrand.New(5))
+	_, selRes, err := KthSmallest(m, plan, keys, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sortRes, err := core.FTSort(m, plan, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selRes.Makespan*2 > sortRes.Makespan {
+		t.Errorf("selection (%d) not clearly cheaper than sorting (%d)", selRes.Makespan, sortRes.Makespan)
+	}
+}
