@@ -167,6 +167,122 @@ func BenchmarkFTSort(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePlanCache isolates the component the engine amortizes:
+// acquiring a configuration's partition decisions. "fresh" pays the
+// cutting-dimension search plus machine construction on every call
+// (hypersort.New); "cached" hits the engine's plan cache
+// (Engine.Partition after warm-up). Their ratio is the per-request
+// saving the plan cache delivers on repeated configurations.
+func BenchmarkEnginePlanCache(b *testing.B) {
+	cfg := Config{Dim: 6, Faults: []NodeID{0, 1, 2, 4, 8}}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := New(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := NewEngine(EngineConfig{})
+		if _, err := eng.Partition(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Partition(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePooledVsFresh compares serving repeated
+// same-configuration sort requests fresh (hypersort.New per call: the
+// full partition search plus machine construction every time) against a
+// warm Engine (cached plan, pooled machine). The "setup-heavy" case —
+// small cube, near-maximal fault set, so the cutting-dimension search is
+// a visible fraction of a request — is where the cache pays; the
+// "simulation-heavy" case bounds the overhead the engine adds when the
+// sort itself dominates. EXPERIMENTS.md records the measured ratios.
+func BenchmarkEnginePooledVsFresh(b *testing.B) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		mCount int
+	}{
+		{"setup-heavy/n=4/r=3/M=512", Config{Dim: 4, Faults: []NodeID{0, 1, 2}}, 512},
+		{"sim-heavy/n=6/r=5/M=4000", Config{Dim: 6, Faults: []NodeID{3, 17, 40, 41, 62}}, 4000},
+	}
+	for _, tc := range cases {
+		keys := genKeys(tc.mCount, 42)
+		b.Run("fresh/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := s.Sort(keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("engine-warm/"+tc.name, func(b *testing.B) {
+			eng := NewEngine(EngineConfig{PoolSize: 1})
+			if _, _, err := eng.Sort(tc.cfg, keys); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Sort(tc.cfg, keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatch measures SortBatch throughput on mixed traffic:
+// requests round-robined over four configurations, against the fresh
+// sequential loop a caller without the engine would write.
+func BenchmarkEngineBatch(b *testing.B) {
+	configs := []Config{
+		{Dim: 4, Faults: []NodeID{0, 1, 2}},
+		{Dim: 5, Faults: []NodeID{3, 17}},
+		{Dim: 4, Faults: []NodeID{5}, Model: Total},
+		{Dim: 5, Faults: []NodeID{0, 12, 25, 31}},
+	}
+	const perBatch = 32
+	reqs := make([]Request, perBatch)
+	for i := range reqs {
+		reqs[i] = Request{Config: configs[i%len(configs)], Op: OpSort, Keys: genKeys(512, uint64(i))}
+	}
+	b.Run("fresh-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				s, err := New(r.Config)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := s.Sort(r.Keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine-batch", func(b *testing.B) {
+		eng := NewEngine(EngineConfig{})
+		eng.SortBatch(reqs) // warm the plan cache and pools
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.SortBatch(reqs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkBaselineBitonic measures the fault-free full-cube bitonic sort
 // the baseline runs on the maximum fault-free subcube.
 func BenchmarkBaselineBitonic(b *testing.B) {

@@ -1,0 +1,261 @@
+// Command serve runs the concurrent sort engine as an HTTP service —
+// the production-shaped front end to the library: many independent
+// requests against a recurring set of (dim, faults) configurations,
+// served from the engine's plan cache and machine pools.
+//
+// Usage:
+//
+//	serve -addr :8080 [-pool 4] [-workers 8]
+//	serve -demo [-requests 256] [-m 4000] [-seed 1]
+//
+// Endpoints:
+//
+//	POST /v1/sort    one request  {"dim":6,"faults":[3,17],"keys":[...]}
+//	POST /v1/batch   {"requests":[...]} — per-request error isolation
+//	GET  /v1/metrics engine counters (plan hits, machines built/cloned)
+//	GET  /healthz
+//
+// The -demo flag skips the network entirely and measures batch
+// throughput on synthetic traffic: the same requests served by fresh
+// per-call construction (plan search + machine build every time) versus
+// the warm engine (cached plans, pooled machines), printing both
+// wall-clock times and the speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"hypersort"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		pool     = flag.Int("pool", 0, "machines pooled per configuration (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "concurrent batch requests (0 = GOMAXPROCS)")
+		demo     = flag.Bool("demo", false, "run the offline batch-throughput demo and exit")
+		requests = flag.Int("requests", 256, "demo: number of requests")
+		m        = flag.Int("m", 4000, "demo: keys per request")
+		seed     = flag.Uint64("seed", 1, "demo: workload seed")
+	)
+	flag.Parse()
+
+	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: *pool, BatchWorkers: *workers})
+	if *demo {
+		runDemo(eng, *requests, *m, *seed)
+		return
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Metrics())
+	})
+	mux.HandleFunc("/v1/sort", func(w http.ResponseWriter, r *http.Request) {
+		var wreq wireRequest
+		if !readJSON(w, r, &wreq) {
+			return
+		}
+		req, err := wreq.toRequest()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, wireResult{Err: err.Error()})
+			return
+		}
+		res := eng.SortBatch([]hypersort.Request{req})[0]
+		status := http.StatusOK
+		if res.Err != nil {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, toWire(req, res))
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Requests []wireRequest `json:"requests"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		reqs := make([]hypersort.Request, len(body.Requests))
+		preErr := make([]error, len(body.Requests))
+		for i, wr := range body.Requests {
+			reqs[i], preErr[i] = wr.toRequest()
+		}
+		results := eng.SortBatch(reqs)
+		out := make([]wireResult, len(results))
+		for i, res := range results {
+			if preErr[i] != nil {
+				out[i] = wireResult{Err: preErr[i].Error()}
+				continue
+			}
+			out[i] = toWire(reqs[i], res)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	})
+
+	fmt.Printf("serve: listening on %s (pool=%d workers=%d)\n", *addr, *pool, *workers)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// wireRequest is the JSON shape of one request.
+type wireRequest struct {
+	Dim        int        `json:"dim"`
+	Faults     []int64    `json:"faults,omitempty"`
+	LinkFaults [][2]int64 `json:"link_faults,omitempty"`
+	Model      string     `json:"model,omitempty"` // "partial" (default) or "total"
+	Op         string     `json:"op,omitempty"`    // "sort" (default), "kth", "median", "topk"
+	K          int        `json:"k,omitempty"`
+	Keys       []int64    `json:"keys"`
+}
+
+func (wr wireRequest) toRequest() (hypersort.Request, error) {
+	cfg := hypersort.Config{Dim: wr.Dim}
+	for _, f := range wr.Faults {
+		cfg.Faults = append(cfg.Faults, hypersort.NodeID(f))
+	}
+	for _, l := range wr.LinkFaults {
+		cfg.LinkFaults = append(cfg.LinkFaults, [2]hypersort.NodeID{hypersort.NodeID(l[0]), hypersort.NodeID(l[1])})
+	}
+	switch wr.Model {
+	case "", "partial":
+		cfg.Model = hypersort.Partial
+	case "total":
+		cfg.Model = hypersort.Total
+	default:
+		return hypersort.Request{}, fmt.Errorf("unknown fault model %q", wr.Model)
+	}
+	var op hypersort.Op
+	switch wr.Op {
+	case "", "sort":
+		op = hypersort.OpSort
+	case "kth":
+		op = hypersort.OpKthSmallest
+	case "median":
+		op = hypersort.OpMedian
+	case "topk":
+		op = hypersort.OpTopK
+	default:
+		return hypersort.Request{}, fmt.Errorf("unknown op %q", wr.Op)
+	}
+	keys := make([]hypersort.Key, len(wr.Keys))
+	for i, k := range wr.Keys {
+		keys[i] = hypersort.Key(k)
+	}
+	return hypersort.Request{Config: cfg, Op: op, Keys: keys, K: wr.K}, nil
+}
+
+// wireResult is the JSON shape of one outcome.
+type wireResult struct {
+	Keys  []int64         `json:"keys,omitempty"`
+	Value *int64          `json:"value,omitempty"`
+	Stats hypersort.Stats `json:"stats"`
+	Err   string          `json:"error,omitempty"`
+}
+
+func toWire(req hypersort.Request, res hypersort.Result) wireResult {
+	if res.Err != nil {
+		return wireResult{Err: res.Err.Error()}
+	}
+	out := wireResult{Stats: res.Stats}
+	switch req.Op {
+	case hypersort.OpKthSmallest, hypersort.OpMedian:
+		v := int64(res.Value)
+		out.Value = &v
+	default:
+		out.Keys = make([]int64, len(res.Keys))
+		for i, k := range res.Keys {
+			out.Keys[i] = int64(k)
+		}
+	}
+	return out
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// runDemo measures the engine's amortization win on synthetic traffic:
+// R requests round-robined over a handful of faulty configurations,
+// served fresh (New per call: plan search + machine build every time)
+// versus through the warm engine (SortBatch over cached plans and
+// pooled machines).
+func runDemo(eng *hypersort.Engine, requests, m int, seed uint64) {
+	configs := []hypersort.Config{
+		{Dim: 6, Faults: []hypersort.NodeID{3, 17, 40}},
+		{Dim: 7, Faults: []hypersort.NodeID{5, 29, 77, 101}},
+		{Dim: 8, Faults: []hypersort.NodeID{1, 64, 130, 200, 255, 17, 90}},
+		{Dim: 6, Faults: []hypersort.NodeID{0, 21, 42, 63}, Model: hypersort.Total},
+	}
+	rng := xrand.New(seed)
+	reqs := make([]hypersort.Request, requests)
+	for i := range reqs {
+		reqs[i] = hypersort.Request{
+			Config: configs[i%len(configs)],
+			Op:     hypersort.OpSort,
+			Keys:   workload.MustGenerate(workload.Uniform, m, rng),
+		}
+	}
+	fmt.Printf("demo: %d requests x %d keys over %d configurations\n", requests, m, len(configs))
+
+	start := time.Now()
+	for i, r := range reqs {
+		s, err := hypersort.New(r.Config)
+		if err != nil {
+			fatal(err)
+		}
+		if _, _, err := s.Sort(r.Keys); err != nil {
+			fatal(fmt.Errorf("request %d: %w", i, err))
+		}
+	}
+	fresh := time.Since(start)
+	fmt.Printf("fresh per-call (plan search + machine build every request): %v  (%.1f req/s)\n",
+		fresh.Round(time.Millisecond), float64(requests)/fresh.Seconds())
+
+	start = time.Now()
+	results := eng.SortBatch(reqs)
+	warm := time.Since(start)
+	for i, res := range results {
+		if res.Err != nil {
+			fatal(fmt.Errorf("request %d: %w", i, res.Err))
+		}
+	}
+	fmt.Printf("engine batch   (cached plans, pooled machines):             %v  (%.1f req/s)\n",
+		warm.Round(time.Millisecond), float64(requests)/warm.Seconds())
+	fmt.Printf("speedup: %.2fx\n", fresh.Seconds()/warm.Seconds())
+	mtr := eng.Metrics()
+	fmt.Printf("engine metrics: %d requests, %d plan searches (%d cache hits), %d machines built + %d cloned\n",
+		mtr.Requests, mtr.PlanMisses, mtr.PlanHits, mtr.MachinesBuilt, mtr.MachinesCloned)
+	agg := hypersort.SumStats(results)
+	fmt.Printf("simulated totals: critical-path makespan=%d comparisons=%d key-hops=%d\n",
+		agg.Makespan, agg.Comparisons, agg.KeyHops)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+package hypersort
+
+import (
+	"fmt"
+
+	"hypersort/internal/engine"
+)
+
+// EngineConfig tunes an Engine's resource bounds. The zero value selects
+// sensible defaults (GOMAXPROCS for both bounds).
+type EngineConfig struct {
+	// PoolSize bounds the simulated machines kept per configuration.
+	// Each concurrent request on one configuration needs its own
+	// machine; beyond PoolSize in-flight requests for a configuration,
+	// further requests wait for a machine to free up. A machine costs
+	// 2^Dim node states, so size the pool by memory and host
+	// parallelism, not by request count. Values < 1 mean GOMAXPROCS.
+	PoolSize int
+	// BatchWorkers bounds how many requests SortBatch executes
+	// concurrently across all configurations. Values < 1 mean
+	// GOMAXPROCS.
+	BatchWorkers int
+}
+
+// Engine is a concurrent, reusable front end to the fault-tolerant
+// sorter, built for serving many requests against a recurring set of
+// configurations. Unlike Sorter it is safe for arbitrary concurrent use:
+// it caches partition plans by canonical configuration (so repeated
+// configurations skip the O(rN) cutting-dimension search entirely) and
+// pools independent simulated machines per configuration (so concurrent
+// requests run in parallel instead of serializing or racing).
+//
+// Limitations: Config.Trace is rejected — a per-run event hook cannot be
+// cached or pooled; use a dedicated Sorter to trace a run. Plan-search
+// failures (inseparable fault sets) are cached like successes, so
+// retrying a doomed configuration is cheap.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine builds an engine. It performs no planning up front; plans
+// and machines materialize lazily as configurations are first used.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.New(cfg.PoolSize, cfg.BatchWorkers)}
+}
+
+// Op selects what a batch Request computes.
+type Op = engine.Op
+
+// Batch operations: sort ascending, order statistics, or top-K.
+const (
+	OpSort        = engine.OpSort
+	OpKthSmallest = engine.OpKthSmallest
+	OpMedian      = engine.OpMedian
+	OpTopK        = engine.OpTopK
+)
+
+// Request is one unit of batch work: a machine configuration, an
+// operation, and its operands. Requests in one batch are independent and
+// may freely mix configurations.
+type Request struct {
+	// Config is the machine configuration; Config.Trace must be nil.
+	Config Config
+	// Op selects the computation (default OpSort).
+	Op Op
+	// Keys is the input; it is not modified.
+	Keys []Key
+	// K is the 1-based rank for OpKthSmallest or the count for OpTopK.
+	K int
+}
+
+// Result is one batch request's outcome. The payload field that matters
+// follows the request's Op: Keys for OpSort and OpTopK, Value for
+// OpKthSmallest and OpMedian. Err is per-request — see Stats for how to
+// aggregate statistics over a batch.
+type Result struct {
+	Keys  []Key
+	Value Key
+	Stats Stats
+	Err   error
+}
+
+// EngineMetrics snapshots an engine's lifetime counters: requests
+// served, plan-cache hits and misses, and machines constructed (full
+// builds versus pool-clone fast-paths).
+type EngineMetrics = engine.Metrics
+
+// Metrics returns a snapshot of the engine's lifetime counters.
+func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }
+
+// Partition returns the partition decisions for cfg from the engine's
+// plan cache: the first call for a configuration runs the
+// cutting-dimension search, every later call is a lookup. It is the
+// cheap way to inspect (or pre-warm) a configuration without building a
+// Sorter.
+func (e *Engine) Partition(cfg Config) (Partition, error) {
+	ecfg, err := engineConfig(cfg)
+	if err != nil {
+		return Partition{}, err
+	}
+	plan, err := e.eng.Plan(ecfg)
+	if err != nil {
+		return Partition{}, err
+	}
+	return partitionInfo(plan), nil
+}
+
+// Sort sorts keys ascending on the configured faulty hypercube, reusing
+// the engine's cached plan and pooled machines for cfg. Safe for
+// concurrent use.
+func (e *Engine) Sort(cfg Config, keys []Key) ([]Key, Stats, error) {
+	res := e.do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	return res.Keys, res.Stats, res.Err
+}
+
+// KthSmallest returns the k-th smallest key (1-based) via the engine.
+func (e *Engine) KthSmallest(cfg Config, keys []Key, k int) (Key, Stats, error) {
+	res := e.do(Request{Config: cfg, Op: OpKthSmallest, Keys: keys, K: k})
+	return res.Value, res.Stats, res.Err
+}
+
+// Median returns the lower median of keys via the engine.
+func (e *Engine) Median(cfg Config, keys []Key) (Key, Stats, error) {
+	res := e.do(Request{Config: cfg, Op: OpMedian, Keys: keys})
+	return res.Value, res.Stats, res.Err
+}
+
+// TopK returns the k largest keys in ascending order via the engine.
+func (e *Engine) TopK(cfg Config, keys []Key, k int) ([]Key, Stats, error) {
+	res := e.do(Request{Config: cfg, Op: OpTopK, Keys: keys, K: k})
+	return res.Keys, res.Stats, res.Err
+}
+
+// SortBatch executes the requests concurrently across the engine's
+// machine pools and returns one Result per request, in request order.
+// Errors are isolated: a request with a bad configuration, an impossible
+// fault set, or invalid operands fails alone — every valid request in
+// the batch still returns its result.
+func (e *Engine) SortBatch(reqs []Request) []Result {
+	inner := make([]engine.Request, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		ecfg, err := engineConfig(r.Config)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		inner[i] = engine.Request{Config: ecfg, Op: r.Op, Keys: r.Keys, K: r.K}
+	}
+	innerRes := e.eng.Batch(inner)
+	out := make([]Result, len(reqs))
+	for i := range reqs {
+		if errs[i] != nil {
+			out[i] = Result{Err: errs[i]}
+			continue
+		}
+		out[i] = Result{
+			Keys:  innerRes[i].Keys,
+			Value: innerRes[i].Value,
+			Stats: statsOf(innerRes[i].Res),
+			Err:   innerRes[i].Err,
+		}
+	}
+	return out
+}
+
+// do runs one request through the engine.
+func (e *Engine) do(req Request) Result {
+	ecfg, err := engineConfig(req.Config)
+	if err != nil {
+		return Result{Err: err}
+	}
+	res := e.eng.Do(engine.Request{Config: ecfg, Op: req.Op, Keys: req.Keys, K: req.K})
+	return Result{Keys: res.Keys, Value: res.Value, Stats: statsOf(res.Res), Err: res.Err}
+}
+
+// engineConfig converts the public Config, rejecting what an engine
+// cannot serve.
+func engineConfig(cfg Config) (engine.Config, error) {
+	if cfg.Trace != nil {
+		return engine.Config{}, fmt.Errorf("hypersort: Engine does not support Config.Trace; use a Sorter to trace a run")
+	}
+	return engine.Config{
+		Dim:                 cfg.Dim,
+		Faults:              cfg.Faults,
+		LinkFaults:          cfg.LinkFaults,
+		Model:               cfg.Model,
+		Cost:                cfg.Cost,
+		Protocol:            cfg.Protocol,
+		AccountDistribution: cfg.AccountDistribution,
+	}, nil
+}
+
+// SumStats aggregates a batch's statistics: work counters sum over the
+// successful results, and Makespan is the maximum — the batch's
+// simulated critical path, since each request ran on an independent
+// machine in parallel. Failed results contribute nothing.
+func SumStats(results []Result) Stats {
+	var agg Stats
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		agg.Messages += r.Stats.Messages
+		agg.KeysSent += r.Stats.KeysSent
+		agg.KeyHops += r.Stats.KeyHops
+		agg.Comparisons += r.Stats.Comparisons
+		if r.Stats.Makespan > agg.Makespan {
+			agg.Makespan = r.Stats.Makespan
+		}
+	}
+	return agg
+}

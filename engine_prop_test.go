@@ -1,0 +1,202 @@
+// Randomized property suite for Engine and Sorter, in the style of the
+// resilient-sorting literature's adversarial validation (Geissmann et
+// al.; Kopelowitz & Talmon): seeded random configurations and key
+// patterns, every result checked for sortedness, multiset preservation,
+// and agreement with the host's sort.Slice — sequentially, through the
+// Engine, and through concurrent SortBatch.
+package hypersort
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hypersort/internal/xrand"
+)
+
+// propScenario is one randomized trial: a machine configuration plus an
+// input key slice.
+type propScenario struct {
+	name string
+	cfg  Config
+	keys []Key
+}
+
+// randomScenarios derives count seeded scenarios with dim in [1,8],
+// fault sets of up to dim-1 processors, and key slices spanning empty,
+// duplicate-heavy, and adversarial patterns.
+func randomScenarios(seed uint64, count int) []propScenario {
+	rng := xrand.New(seed)
+	var out []propScenario
+	for i := 0; i < count; i++ {
+		dim := 1 + rng.IntN(8)
+		r := rng.IntN(dim) // up to dim-1 faults
+		faults := make([]NodeID, 0, r)
+		for _, f := range rng.Sample(1<<dim, r) {
+			faults = append(faults, NodeID(f))
+		}
+		n := rng.IntN(301)
+		keys := make([]Key, n)
+		pattern := rng.IntN(6)
+		for j := range keys {
+			switch pattern {
+			case 0: // uniform random
+				keys[j] = Key(rng.IntN(1 << 30))
+			case 1: // heavy duplicates
+				keys[j] = Key(rng.IntN(4))
+			case 2: // already sorted
+				keys[j] = Key(j)
+			case 3: // reverse sorted
+				keys[j] = Key(n - j)
+			case 4: // organ pipe (adversarial for merge directions)
+				if j < n/2 {
+					keys[j] = Key(j)
+				} else {
+					keys[j] = Key(n - j)
+				}
+			case 5: // all equal, including negative values
+				keys[j] = -7
+			}
+		}
+		if rng.IntN(10) == 0 {
+			keys = nil // explicit empty input
+		}
+		out = append(out, propScenario{
+			name: fmt.Sprintf("trial%d/dim%d/r%d/pat%d/n%d", i, dim, r, pattern, len(keys)),
+			cfg:  Config{Dim: dim, Faults: faults},
+			keys: keys,
+		})
+	}
+	return out
+}
+
+func refSorted(keys []Key) []Key {
+	out := append([]Key(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkSorted asserts got is sorted, is a multiset permutation of in,
+// and equals the reference sort.Slice output. (Equality to the sorted
+// reference implies the first two; all three are asserted so a failure
+// names the violated property.)
+func checkSorted(t *testing.T, in, got []Key) {
+	t.Helper()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("output not sorted: %v", got)
+	}
+	counts := make(map[Key]int, len(in))
+	for _, k := range in {
+		counts[k]++
+	}
+	for _, k := range got {
+		counts[k]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("multiset violated: key %d count off by %d", k, c)
+		}
+	}
+	want := refSorted(in)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRandomizedSortProperties runs each scenario through a fresh Sorter
+// and through a shared Engine, then replays all scenarios as one
+// concurrent SortBatch and demands identical results to the sequential
+// calls.
+func TestRandomizedSortProperties(t *testing.T) {
+	scenarios := randomScenarios(0xFEED, 40)
+	eng := NewEngine(EngineConfig{})
+
+	sequential := make([][]Key, len(scenarios))
+	for i, sc := range scenarios {
+		sc := sc
+		i := i
+		t.Run("sorter/"+sc.name, func(t *testing.T) {
+			s, err := New(sc.cfg)
+			if err != nil {
+				t.Fatalf("New(%+v): %v", sc.cfg, err)
+			}
+			got, _, err := s.Sort(sc.keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSorted(t, sc.keys, got)
+		})
+		t.Run("engine/"+sc.name, func(t *testing.T) {
+			got, _, err := eng.Sort(sc.cfg, sc.keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSorted(t, sc.keys, got)
+			sequential[i] = got
+		})
+	}
+
+	reqs := make([]Request, len(scenarios))
+	for i, sc := range scenarios {
+		reqs[i] = Request{Config: sc.cfg, Op: OpSort, Keys: sc.keys}
+	}
+	results := eng.SortBatch(reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch %s: %v", scenarios[i].name, res.Err)
+		}
+		if len(res.Keys) != len(sequential[i]) {
+			t.Fatalf("batch %s: %d keys, sequential %d", scenarios[i].name, len(res.Keys), len(sequential[i]))
+		}
+		for j := range res.Keys {
+			if res.Keys[j] != sequential[i][j] {
+				t.Fatalf("batch %s diverges from sequential at %d", scenarios[i].name, j)
+			}
+		}
+	}
+}
+
+// TestRandomizedSelectionProperties drives the engine's order-statistic
+// ops through the pool against host references.
+func TestRandomizedSelectionProperties(t *testing.T) {
+	rng := xrand.New(0xBEEF)
+	eng := NewEngine(EngineConfig{})
+	for i := 0; i < 12; i++ {
+		dim := 2 + rng.IntN(5)
+		r := rng.IntN(dim)
+		faults := make([]NodeID, 0, r)
+		for _, f := range rng.Sample(1<<dim, r) {
+			faults = append(faults, NodeID(f))
+		}
+		cfg := Config{Dim: dim, Faults: faults}
+		n := 1 + rng.IntN(400)
+		keys := make([]Key, n)
+		for j := range keys {
+			keys[j] = Key(rng.IntN(1000)) - 500
+		}
+		ref := refSorted(keys)
+		k := 1 + rng.IntN(n)
+
+		got, _, err := eng.KthSmallest(cfg, keys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref[k-1] {
+			t.Fatalf("trial %d: kth(%d) = %d, want %d", i, k, got, ref[k-1])
+		}
+		top, _, err := eng.TopK(cfg, keys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range top {
+			if top[j] != ref[n-k+j] {
+				t.Fatalf("trial %d: top-%d mismatch at %d", i, k, j)
+			}
+		}
+	}
+}

@@ -113,6 +113,14 @@ type Config struct {
 }
 
 // Stats reports one sort's simulated execution.
+//
+// Each request — including each request of an Engine batch — runs on its
+// own simulated machine with its own virtual clock, so Stats values from
+// different requests are independent. To aggregate over a batch, sum the
+// work counters (Messages, KeysSent, KeyHops, Comparisons); Makespans do
+// not sum — independent machines run in parallel, so the batch's
+// simulated critical path is the maximum Makespan, which is what
+// SumStats reports.
 type Stats struct {
 	// Makespan is the simulated completion time in cost-model units.
 	Makespan int64
@@ -146,7 +154,9 @@ type Partition struct {
 // Sorter is a reusable fault-tolerant sorter for one machine
 // configuration. It is safe for sequential reuse; concurrent Sort calls
 // on the same Sorter are not supported (the underlying simulated machine
-// is single-run).
+// is single-run). For concurrent requests, repeated configurations, or
+// batch workloads, use Engine, which caches partition plans and pools
+// independent machines per configuration.
 type Sorter struct {
 	mach *machine.Machine
 	plan *partition.Plan
@@ -210,7 +220,11 @@ func (s *Sorter) Sort(keys []Key) ([]Key, Stats, error) {
 // Partition returns the partition decisions (Ψ, D_β, dangling
 // processors, utilization) the sorter operates with.
 func (s *Sorter) Partition() Partition {
-	p := s.plan
+	return partitionInfo(s.plan)
+}
+
+// partitionInfo converts an internal plan into the public Partition.
+func partitionInfo(p *partition.Plan) Partition {
 	out := Partition{
 		Mincut:      p.Mincut(),
 		Chosen:      append([]int(nil), p.Chosen...),

@@ -276,3 +276,112 @@ func TestSortEmptyAndFaultFree(t *testing.T) {
 		t.Errorf("sorted empty input into %v", sorted)
 	}
 }
+
+func TestEngineFacadeSortAndConcurrency(t *testing.T) {
+	eng := NewEngine(EngineConfig{PoolSize: 2})
+	cfg := Config{Dim: 4, Faults: []NodeID{3}}
+	keys := genKeys(500, 77)
+	want, _, err := Sort(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, stats, err := eng.Sort(cfg, keys)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if stats.Makespan <= 0 {
+				t.Error("no simulated time")
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("concurrent engine sort diverges at %d", j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m := eng.Metrics()
+	if m.PlanMisses != 1 {
+		t.Errorf("plan searched %d times for one configuration", m.PlanMisses)
+	}
+}
+
+func TestEngineRejectsTrace(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	cfg := Config{Dim: 3, Trace: func(TraceEvent) {}}
+	if _, _, err := eng.Sort(cfg, genKeys(10, 1)); err == nil {
+		t.Fatal("Engine accepted a Config.Trace")
+	}
+	res := eng.SortBatch([]Request{{Config: cfg, Keys: genKeys(10, 1)}})
+	if res[0].Err == nil {
+		t.Fatal("SortBatch accepted a Config.Trace")
+	}
+}
+
+// TestSortBatchIsolatesErrors is the acceptance property: a batch with
+// one invalid request still returns results for every valid one.
+func TestSortBatchIsolatesErrors(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	keys := genKeys(200, 8)
+	reqs := []Request{
+		{Config: Config{Dim: 4, Faults: []NodeID{3}}, Op: OpSort, Keys: keys},
+		{Config: Config{Dim: 4, Faults: []NodeID{99}}, Op: OpSort, Keys: keys}, // invalid fault
+		{Config: Config{Dim: 3}, Op: OpKthSmallest, Keys: keys, K: 17},
+		{Config: Config{Dim: 3}, Op: OpMedian, Keys: keys},
+	}
+	results := eng.SortBatch(reqs)
+	if results[1].Err == nil {
+		t.Fatal("invalid request did not fail")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("valid request %d failed: %v", i, results[i].Err)
+		}
+	}
+	want, _, err := Sort(Config{Dim: 4, Faults: []NodeID{3}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if results[0].Keys[j] != want[j] {
+			t.Fatalf("batch result diverges at %d", j)
+		}
+	}
+	sorted := append([]Key(nil), want...)
+	if results[2].Value != sorted[16] {
+		t.Errorf("kth = %d, want %d", results[2].Value, sorted[16])
+	}
+	if results[3].Value != sorted[(len(sorted)-1)/2] {
+		t.Errorf("median = %d, want %d", results[3].Value, sorted[(len(sorted)-1)/2])
+	}
+}
+
+func TestSumStats(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	keys := genKeys(300, 9)
+	reqs := []Request{
+		{Config: Config{Dim: 3}, Op: OpSort, Keys: keys},
+		{Config: Config{Dim: 4, Faults: []NodeID{1}}, Op: OpSort, Keys: keys},
+		{Config: Config{Dim: 4, Faults: []NodeID{77}}, Op: OpSort, Keys: keys}, // fails
+	}
+	results := eng.SortBatch(reqs)
+	agg := SumStats(results)
+	wantComp := results[0].Stats.Comparisons + results[1].Stats.Comparisons
+	if agg.Comparisons != wantComp {
+		t.Errorf("aggregate comparisons %d, want %d (failed request must not contribute)", agg.Comparisons, wantComp)
+	}
+	wantMk := results[0].Stats.Makespan
+	if results[1].Stats.Makespan > wantMk {
+		wantMk = results[1].Stats.Makespan
+	}
+	if agg.Makespan != wantMk {
+		t.Errorf("aggregate makespan %d, want max %d", agg.Makespan, wantMk)
+	}
+}

@@ -1,0 +1,345 @@
+// Package engine is the concurrent request engine behind the public
+// hypersort.Engine: it amortizes the two expensive parts of serving many
+// sort requests against a small set of machine configurations.
+//
+//   - Plan cache: partition.BuildPlan runs the O(rN) cutting-dimension
+//     search. The engine runs it once per canonical configuration
+//     (partition.PlanKey) and caches the resulting *partition.Plan — and,
+//     just as importantly, caches the *failure* for inseparable fault
+//     sets, so a hammering client cannot make the engine repeat a doomed
+//     search. Concurrent first requests for the same key are
+//     single-flighted: one goroutine searches, the rest wait.
+//
+//   - Machine pool: a machine.Machine is single-run — concurrent kernels
+//     on one machine would interleave mailboxes. The engine keeps a
+//     bounded pool of machines per configuration; a request borrows one
+//     (cloning from a template when the pool has headroom, blocking for a
+//     returned machine when it does not) and returns it afterwards.
+//     Plans are immutable and shared by all machines of a configuration.
+//
+// Requests are value-in/value-out and isolated: Do never panics the
+// caller, Batch never lets one bad request poison its neighbors, and no
+// request can observe another's keys — each run owns a private machine,
+// and the sort/selection kernels treat the input slice as read-only,
+// cloning per-processor shares before mutating.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/selection"
+	"hypersort/internal/sortutil"
+)
+
+// Config describes the machine configuration one request runs on. It
+// mirrors the public hypersort.Config minus the Trace hook (a per-run
+// callback cannot be part of a cache key, and pooled machines must not
+// smuggle one request's events into another's recorder).
+type Config struct {
+	Dim                 int
+	Faults              []cube.NodeID
+	LinkFaults          [][2]cube.NodeID
+	Model               machine.FaultModel
+	Cost                machine.CostModel
+	Protocol            bitonic.Protocol
+	AccountDistribution bool
+}
+
+// Op selects what a Request computes.
+type Op int
+
+const (
+	// OpSort sorts Keys ascending.
+	OpSort Op = iota
+	// OpKthSmallest returns the K-th smallest key (1-based).
+	OpKthSmallest
+	// OpMedian returns the lower median.
+	OpMedian
+	// OpTopK returns the K largest keys in ascending order.
+	OpTopK
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSort:
+		return "sort"
+	case OpKthSmallest:
+		return "kth-smallest"
+	case OpMedian:
+		return "median"
+	case OpTopK:
+		return "top-k"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Request is one unit of work: a configuration, an operation, and its
+// operands. Requests in a batch are independent — they may use the same
+// or different configurations.
+type Request struct {
+	Config Config
+	Op     Op
+	Keys   []sortutil.Key
+	// K is the rank for OpKthSmallest / the count for OpTopK.
+	K int
+}
+
+// Result is one request's outcome. Exactly one of the payload fields is
+// meaningful, according to the request's Op: Keys for OpSort and OpTopK,
+// Value for OpKthSmallest and OpMedian. Err is per-request: a failed
+// request reports here and nowhere else.
+type Result struct {
+	Keys  []sortutil.Key
+	Value sortutil.Key
+	Res   machine.Result
+	Err   error
+}
+
+// Metrics is a snapshot of the engine's lifetime counters.
+type Metrics struct {
+	// Requests counts completed requests (including failed ones).
+	Requests int64
+	// PlanHits / PlanMisses count plan-cache lookups; a miss runs the
+	// partition search (or finds its cached failure already recorded —
+	// negative results count as hits once cached).
+	PlanHits   int64
+	PlanMisses int64
+	// MachinesBuilt counts full machine.New constructions (one per pool,
+	// the template); MachinesCloned counts Clone fast-path constructions.
+	MachinesBuilt  int64
+	MachinesCloned int64
+}
+
+// Engine caches plans and pools machines. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Engine struct {
+	poolSize int
+	workers  int
+
+	mu    sync.Mutex
+	plans map[partition.PlanKey]*planEntry
+	pools map[poolKey]*pool
+
+	requests   atomic.Int64
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	built      atomic.Int64
+	cloned     atomic.Int64
+}
+
+// planEntry single-flights one configuration's partition search.
+type planEntry struct {
+	once sync.Once
+	plan *partition.Plan
+	err  error
+}
+
+// poolKey identifies one machine pool: everything machine.New consumes.
+// The cost model is not part of the plan key (plans are cost-blind), but
+// machines are built with it, so it extends the pool key.
+type poolKey struct {
+	pk   partition.PlanKey
+	cost machine.CostModel
+}
+
+// New builds an engine. poolSize bounds the simulated machines kept per
+// configuration and workers bounds concurrently executing batch
+// requests; values < 1 select GOMAXPROCS.
+func New(poolSize, workers int) *Engine {
+	if poolSize < 1 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		poolSize: poolSize,
+		workers:  workers,
+		plans:    make(map[partition.PlanKey]*planEntry),
+		pools:    make(map[poolKey]*pool),
+	}
+}
+
+// Metrics returns a snapshot of the lifetime counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Requests:       e.requests.Load(),
+		PlanHits:       e.planHits.Load(),
+		PlanMisses:     e.planMisses.Load(),
+		MachinesBuilt:  e.built.Load(),
+		MachinesCloned: e.cloned.Load(),
+	}
+}
+
+// validate re-implements the facade's configuration checks. The engine
+// must reject bad configurations itself — partition and cube panic on
+// out-of-range dimensions, and a pooled engine cannot let one malformed
+// request take the process down.
+func validate(cfg Config) error {
+	if cfg.Dim < 0 || cfg.Dim > cube.MaxDim {
+		return fmt.Errorf("engine: dimension %d outside [0,%d]", cfg.Dim, cube.MaxDim)
+	}
+	h := cube.New(cfg.Dim)
+	for _, f := range cfg.Faults {
+		if !h.Contains(f) {
+			return fmt.Errorf("engine: fault address %d outside Q_%d", f, cfg.Dim)
+		}
+	}
+	if len(cube.NewNodeSet(cfg.Faults...)) >= h.Size() {
+		return fmt.Errorf("engine: %d faults leave no working processor on Q_%d", len(cfg.Faults), cfg.Dim)
+	}
+	for _, pair := range cfg.LinkFaults {
+		if !h.Contains(pair[0]) || !h.Contains(pair[1]) {
+			return fmt.Errorf("engine: link fault %d-%d outside Q_%d", pair[0], pair[1], cfg.Dim)
+		}
+		if cube.HammingDistance(pair[0], pair[1]) != 1 {
+			return fmt.Errorf("engine: link fault %d-%d is not a hypercube edge", pair[0], pair[1])
+		}
+	}
+	return nil
+}
+
+// plan returns the cached partition plan for key, running the search
+// exactly once per key (single-flight). Failures are cached too.
+func (e *Engine) plan(key partition.PlanKey, cfg Config) (*partition.Plan, error) {
+	e.mu.Lock()
+	entry, ok := e.plans[key]
+	if !ok {
+		entry = &planEntry{}
+		e.plans[key] = entry
+	}
+	e.mu.Unlock()
+	if ok {
+		e.planHits.Add(1)
+	} else {
+		e.planMisses.Add(1)
+	}
+	entry.once.Do(func() {
+		entry.plan, entry.err = partition.BuildPlan(cfg.Dim, cube.NewNodeSet(cfg.Faults...))
+	})
+	return entry.plan, entry.err
+}
+
+// poolFor returns the machine pool for key, creating it on first use.
+func (e *Engine) poolFor(key poolKey, cfg Config) *pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.pools[key]
+	if !ok {
+		p = newPool(e.poolSize, func(prev *machine.Machine) (*machine.Machine, error) {
+			if prev != nil {
+				e.cloned.Add(1)
+				return prev.Clone(), nil
+			}
+			links := cube.NewEdgeSet()
+			for _, pair := range cfg.LinkFaults {
+				links.Add(pair[0], pair[1])
+			}
+			m, err := machine.New(machine.Config{
+				Dim:        cfg.Dim,
+				Faults:     cube.NewNodeSet(cfg.Faults...),
+				Model:      cfg.Model,
+				Cost:       cfg.Cost,
+				LinkFaults: links,
+			})
+			if err == nil {
+				e.built.Add(1)
+			}
+			return m, err
+		})
+		e.pools[key] = p
+	}
+	return p
+}
+
+// Plan returns the cached partition plan for cfg, running the
+// cutting-dimension search only on the first request for the
+// configuration. The returned plan is shared and must be treated as
+// read-only.
+func (e *Engine) Plan(cfg Config) (*partition.Plan, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	return e.plan(key, cfg)
+}
+
+// Do executes one request synchronously and returns its result. Errors —
+// configuration, planning, or run-time — are reported in Result.Err;
+// Do never panics and never fails any request but its own.
+func (e *Engine) Do(req Request) (res Result) {
+	defer e.requests.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: request panicked: %v", r)}
+		}
+	}()
+	cfg := req.Config
+	if err := validate(cfg); err != nil {
+		return Result{Err: err}
+	}
+	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	plan, err := e.plan(key, cfg)
+	if err != nil {
+		return Result{Err: err}
+	}
+	pl := e.poolFor(poolKey{pk: key, cost: cfg.Cost}, cfg)
+	m, err := pl.acquire()
+	if err != nil {
+		return Result{Err: err}
+	}
+	defer pl.release(m)
+
+	// Keys pass through uncloned: every downstream path (FTSortOpt,
+	// selection) treats the input as read-only, cloning per-processor
+	// shares before mutating — the same contract Sorter relies on.
+	keys := req.Keys
+	switch req.Op {
+	case OpSort:
+		out, r, err := core.FTSortOpt(m, plan, keys, core.Options{
+			Protocol:            cfg.Protocol,
+			AccountDistribution: cfg.AccountDistribution,
+		})
+		return Result{Keys: out, Res: r, Err: err}
+	case OpKthSmallest:
+		v, r, err := selection.KthSmallest(m, plan, keys, req.K)
+		return Result{Value: v, Res: r, Err: err}
+	case OpMedian:
+		v, r, err := selection.Median(m, plan, keys)
+		return Result{Value: v, Res: r, Err: err}
+	case OpTopK:
+		out, r, err := selection.TopK(m, plan, keys, req.K)
+		return Result{Keys: out, Res: r, Err: err}
+	}
+	return Result{Err: fmt.Errorf("engine: unknown op %d", int(req.Op))}
+}
+
+// Batch executes the requests concurrently — at most the engine's worker
+// bound in flight, each request drawing a machine from its
+// configuration's pool — and returns one Result per request, in order.
+// Errors are isolated per request: results[i].Err concerns reqs[i] only.
+func (e *Engine) Batch(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = e.Do(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"sync"
+
+	"hypersort/internal/machine"
+)
+
+// pool is a bounded pool of simulated machines for one configuration.
+// The first acquisition builds a template machine with machine.New (full
+// validation); later growth clones the template (the fast-path — shared
+// immutable topology and router, fresh per-node state). Once max
+// machines exist, acquire blocks until one is released, so a pool can
+// never hold more than max machines no matter the request pressure.
+type pool struct {
+	// build constructs a machine: prev is nil for the template build and
+	// the template for clone builds.
+	build func(prev *machine.Machine) (*machine.Machine, error)
+
+	// sem holds one token per machine ever created; at capacity, only
+	// the idle channel can satisfy an acquire.
+	sem chan struct{}
+	// idle buffers released machines; capacity == cap(sem), so release
+	// never blocks.
+	idle chan *machine.Machine
+
+	mu       sync.Mutex
+	template *machine.Machine
+}
+
+func newPool(max int, build func(prev *machine.Machine) (*machine.Machine, error)) *pool {
+	if max < 1 {
+		max = 1
+	}
+	return &pool{
+		build: build,
+		sem:   make(chan struct{}, max),
+		idle:  make(chan *machine.Machine, max),
+	}
+}
+
+// acquire returns an idle machine, or creates one if the pool is below
+// its bound, or blocks until a machine is released.
+func (p *pool) acquire() (*machine.Machine, error) {
+	// Prefer reuse over growth when a machine is already idle.
+	select {
+	case m := <-p.idle:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-p.idle:
+		return m, nil
+	case p.sem <- struct{}{}:
+		m, err := p.grow()
+		if err != nil {
+			<-p.sem
+			return nil, err
+		}
+		return m, nil
+	}
+}
+
+// grow builds one more machine: the template on first call, a clone of
+// it afterwards.
+func (p *pool) grow() (*machine.Machine, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.template == nil {
+		m, err := p.build(nil)
+		if err != nil {
+			return nil, err
+		}
+		p.template = m
+		return m, nil
+	}
+	return p.build(p.template)
+}
+
+// release returns a machine to the pool. Machines reset their own state
+// at the start of every Run, so no scrubbing is needed here.
+func (p *pool) release(m *machine.Machine) {
+	p.idle <- m
+}

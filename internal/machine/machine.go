@@ -109,7 +109,9 @@ type Config struct {
 
 // Machine is a simulated hypercube multicomputer. Create one with New,
 // then execute SPMD kernels with Run. A Machine is reusable across runs;
-// it is not safe for concurrent Runs.
+// it is not safe for concurrent Runs. Callers that need to run several
+// simulations of the same configuration at once (e.g. a request pool)
+// should give each concurrent run its own Machine via Clone.
 type Machine struct {
 	h      cube.Hypercube
 	cfg    Config
@@ -175,6 +177,27 @@ func New(cfg Config) (*Machine, error) {
 		m.nodes[i] = &node{id: id, box: newMailbox(), faulty: cfg.Faults.Has(id)}
 	}
 	return m, nil
+}
+
+// Clone returns a fresh Machine of the same configuration: identical
+// topology, fault sets, cost model, and routing discipline, but its own
+// per-node clocks, counters, and mailboxes. It is the constructor
+// fast-path machine pools use: it skips New's validation and shares the
+// immutable pieces (hypercube, config, router — routers hold no mutable
+// state, so concurrent Route calls are safe), allocating only the
+// per-node state. Runs on a clone and on the original are fully
+// independent and may proceed concurrently.
+//
+// Clone may be called while the source machine is mid-Run: it reads only
+// immutable configuration.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{h: m.h, cfg: m.cfg, router: m.router}
+	c.nodes = make([]*node, m.h.Size())
+	for i := range c.nodes {
+		id := cube.NodeID(i)
+		c.nodes[i] = &node{id: id, box: newMailbox(), faulty: m.cfg.Faults.Has(id)}
+	}
+	return c
 }
 
 // MustNew is New for statically valid configurations; it panics on error.

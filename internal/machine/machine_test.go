@@ -393,3 +393,78 @@ func TestSortedParticipants(t *testing.T) {
 		t.Error("input mutated")
 	}
 }
+
+// pingKernel is a tiny deterministic all-pairs exchange used by the
+// Clone tests: every participant sends its id to its dimension-0 partner
+// and computes once.
+func pingKernel(t *testing.T) Kernel {
+	return func(p *Proc) error {
+		partner := cube.FlipBit(p.ID(), 0)
+		if !p.InGroup(partner) {
+			p.Compute(3)
+			return nil
+		}
+		p.Send(partner, 1, []sortutil.Key{sortutil.Key(p.ID())})
+		got := p.Recv(partner, 1)
+		if len(got) != 1 || got[0] != sortutil.Key(partner) {
+			t.Errorf("node %d: got %v from %d", p.ID(), got, partner)
+		}
+		p.Compute(3)
+		return nil
+	}
+}
+
+func TestCloneMatchesOriginal(t *testing.T) {
+	orig := MustNew(Config{Dim: 4, Faults: cube.NewNodeSet(5), Model: Total, Cost: DefaultCostModel()})
+	clone := orig.Clone()
+	if clone == orig {
+		t.Fatal("Clone returned the same machine")
+	}
+	if clone.Cube() != orig.Cube() || clone.Cost() != orig.Cost() || clone.Model() != orig.Model() {
+		t.Fatal("clone configuration diverges")
+	}
+	r1, err := orig.RunAllHealthy(pingKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := clone.RunAllHealthy(pingKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Messages != r2.Messages || r1.KeyHops != r2.KeyHops {
+		t.Fatalf("clone result diverges: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestClonesRunConcurrently is the property the engine's pool depends
+// on: clones of one template may Run at the same time, independently,
+// with deterministic results. Run under -race.
+func TestClonesRunConcurrently(t *testing.T) {
+	template := MustNew(Config{Dim: 5, Faults: cube.NewNodeSet(3, 17)})
+	want, err := template.RunAllHealthy(pingKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	done := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			m := template.Clone()
+			results[i], errs[i] = m.RunAllHealthy(pingKernel(t))
+			done <- i
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Makespan != want.Makespan || results[i].Messages != want.Messages {
+			t.Fatalf("worker %d diverges: %+v vs %+v", i, results[i], want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypersort/internal/cube"
+)
+
+// PlanKey is a canonical fingerprint of a sorter configuration: the
+// hypercube dimension, the fault set, the link-fault set, and the fault
+// model. Two configurations that describe the same machine — regardless
+// of the order (or duplication) in which faults and link faults are
+// listed, or the orientation of link endpoints — map to the same key, and
+// two configurations that differ in any of the four components map to
+// different keys. Plan and machine caches use it as their map key.
+//
+// The key is a readable string ("n6|md0|f3,17|l0-1,5-7"), so it doubles
+// as a log/metrics label for a configuration.
+type PlanKey string
+
+// KeyFor canonicalizes a configuration into its PlanKey. Faults are
+// deduplicated and sorted; link faults have each endpoint pair oriented
+// low-high, then are deduplicated and sorted lexicographically. model is
+// the fault model as an integer (the package cannot import
+// internal/machine without a cycle; callers pass int(cfg.Model)).
+//
+// KeyFor is a pure fingerprint: it does not validate that fault
+// addresses lie inside Q_dim or that link pairs are hypercube edges —
+// validation belongs to the plan and machine constructors. On the set of
+// valid configurations the mapping is injective (see FuzzPlanKey).
+func KeyFor(dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) PlanKey {
+	fs := cube.NewNodeSet(faults...).Sorted()
+
+	type edge struct{ a, b cube.NodeID }
+	seen := make(map[edge]bool, len(links))
+	es := make([]edge, 0, len(links))
+	for _, pair := range links {
+		e := edge{pair[0], pair[1]}
+		if e.a > e.b {
+			e.a, e.b = e.b, e.a
+		}
+		if !seen[e] {
+			seen[e] = true
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].a != es[j].a {
+			return es[i].a < es[j].a
+		}
+		return es[i].b < es[j].b
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d|md%d|f", dim, model)
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", f)
+	}
+	b.WriteString("|l")
+	for i, e := range es {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e.a, e.b)
+	}
+	return PlanKey(b.String())
+}
