@@ -34,6 +34,7 @@ import (
 // BenchmarkTable1Partition regenerates Table 1 (E1): the distribution of
 // mincut values over random fault placements for n = 3..6.
 func BenchmarkTable1Partition(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(experiments.Table1Config{Trials: 500, Seed: 1})
 		if err != nil {
@@ -49,6 +50,7 @@ func BenchmarkTable1Partition(b *testing.B) {
 // utilization of the partition algorithm versus the maximum fault-free
 // subcube baseline.
 func BenchmarkTable2Utilization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(experiments.Table2Config{Trials: 300, Seed: 2})
 		if err != nil {
@@ -63,6 +65,7 @@ func BenchmarkTable2Utilization(b *testing.B) {
 // benchFig7 runs one Figure 7 panel at bench scale.
 func benchFig7(b *testing.B, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := experiments.Fig7Config{
 		N:              n,
 		Ms:             []int{3200, 32000},
@@ -95,6 +98,7 @@ func BenchmarkFig7d(b *testing.B) { benchFig7(b, 4) }
 // BenchmarkCostModelAgreement runs E8: the §3 closed form versus the
 // simulator across configurations.
 func BenchmarkCostModelAgreement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.CostAgreement(7)
 		if err != nil {
@@ -111,6 +115,7 @@ func BenchmarkCostModelAgreement(b *testing.B) {
 // BenchmarkAblationHeuristic runs E9: the formula (1) selection versus
 // the worst member of Ψ.
 func BenchmarkAblationHeuristic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.HeuristicValue(6, 2000, 6, 8); err != nil {
 			b.Fatal(err)
@@ -121,6 +126,7 @@ func BenchmarkAblationHeuristic(b *testing.B) {
 // BenchmarkAblationFaultModel runs E10: partial versus total fault
 // routing.
 func BenchmarkAblationFaultModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.FaultModelComparison(5, 1000, 4, 9); err != nil {
 			b.Fatal(err)
@@ -131,6 +137,7 @@ func BenchmarkAblationFaultModel(b *testing.B) {
 // BenchmarkAblationProtocol runs E11: full-block versus the paper's
 // literal half-exchange compare-exchange protocol.
 func BenchmarkAblationProtocol(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ProtocolComparison(4, 1000, 2, 10); err != nil {
 			b.Fatal(err)
@@ -141,10 +148,12 @@ func BenchmarkAblationProtocol(b *testing.B) {
 // BenchmarkFTSort measures the end-to-end fault-tolerant sort across
 // machine sizes and fault counts.
 func BenchmarkFTSort(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []struct{ n, r, m int }{
 		{4, 1, 4096}, {5, 2, 8192}, {6, 3, 16384}, {6, 5, 16384},
 	} {
 		b.Run(fmt.Sprintf("n=%d/r=%d/M=%d", cfg.n, cfg.r, cfg.m), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := xrand.New(uint64(cfg.n*100 + cfg.r))
 			faults := cube.NewNodeSet()
 			for _, f := range rng.Sample(1<<cfg.n, cfg.r) {
@@ -174,8 +183,10 @@ func BenchmarkFTSort(b *testing.B) {
 // (Engine.Partition after warm-up). Their ratio is the per-request
 // saving the plan cache delivers on repeated configurations.
 func BenchmarkEnginePlanCache(b *testing.B) {
+	b.ReportAllocs()
 	cfg := Config{Dim: 6, Faults: []NodeID{0, 1, 2, 4, 8}}
 	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := New(cfg); err != nil {
 				b.Fatal(err)
@@ -183,6 +194,7 @@ func BenchmarkEnginePlanCache(b *testing.B) {
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
 		eng := NewEngine(EngineConfig{})
 		if _, err := eng.Partition(cfg); err != nil {
 			b.Fatal(err)
@@ -205,6 +217,7 @@ func BenchmarkEnginePlanCache(b *testing.B) {
 // "simulation-heavy" case bounds the overhead the engine adds when the
 // sort itself dominates. EXPERIMENTS.md records the measured ratios.
 func BenchmarkEnginePooledVsFresh(b *testing.B) {
+	b.ReportAllocs()
 	cases := []struct {
 		name   string
 		cfg    Config
@@ -216,6 +229,7 @@ func BenchmarkEnginePooledVsFresh(b *testing.B) {
 	for _, tc := range cases {
 		keys := genKeys(tc.mCount, 42)
 		b.Run("fresh/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s, err := New(tc.cfg)
 				if err != nil {
@@ -227,6 +241,7 @@ func BenchmarkEnginePooledVsFresh(b *testing.B) {
 			}
 		})
 		b.Run("engine-warm/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := NewEngine(EngineConfig{PoolSize: 1})
 			if _, _, err := eng.Sort(tc.cfg, keys); err != nil {
 				b.Fatal(err)
@@ -245,6 +260,7 @@ func BenchmarkEnginePooledVsFresh(b *testing.B) {
 // requests round-robined over four configurations, against the fresh
 // sequential loop a caller without the engine would write.
 func BenchmarkEngineBatch(b *testing.B) {
+	b.ReportAllocs()
 	configs := []Config{
 		{Dim: 4, Faults: []NodeID{0, 1, 2}},
 		{Dim: 5, Faults: []NodeID{3, 17}},
@@ -257,6 +273,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 		reqs[i] = Request{Config: configs[i%len(configs)], Op: OpSort, Keys: genKeys(512, uint64(i))}
 	}
 	b.Run("fresh-loop", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, r := range reqs {
 				s, err := New(r.Config)
@@ -270,6 +287,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 		}
 	})
 	b.Run("engine-batch", func(b *testing.B) {
+		b.ReportAllocs()
 		eng := NewEngine(EngineConfig{})
 		eng.SortBatch(reqs) // warm the plan cache and pools
 		b.ResetTimer()
@@ -286,8 +304,10 @@ func BenchmarkEngineBatch(b *testing.B) {
 // BenchmarkBaselineBitonic measures the fault-free full-cube bitonic sort
 // the baseline runs on the maximum fault-free subcube.
 func BenchmarkBaselineBitonic(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{4, 5, 6} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := machine.MustNew(machine.Config{Dim: n})
 			keys := workload.MustGenerate(workload.Uniform, 16384, xrand.New(uint64(n)))
 			b.ResetTimer()
@@ -302,8 +322,10 @@ func BenchmarkBaselineBitonic(b *testing.B) {
 
 // BenchmarkPartitionSearch measures the §2.2 cutting-set search alone.
 func BenchmarkPartitionSearch(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []struct{ n, r int }{{5, 4}, {6, 5}, {8, 7}, {10, 9}} {
 		b.Run(fmt.Sprintf("n=%d/r=%d", cfg.n, cfg.r), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := xrand.New(uint64(cfg.n))
 			h := cube.New(cfg.n)
 			faults := cube.NewNodeSet()
@@ -322,6 +344,7 @@ func BenchmarkPartitionSearch(b *testing.B) {
 
 // BenchmarkMaxSubcubeSearch measures the baseline's reconfiguration step.
 func BenchmarkMaxSubcubeSearch(b *testing.B) {
+	b.ReportAllocs()
 	h := cube.New(6)
 	faults := cube.NewNodeSet(0, 21, 42, 63)
 	b.ResetTimer()
@@ -334,6 +357,7 @@ func BenchmarkMaxSubcubeSearch(b *testing.B) {
 
 // BenchmarkDiagnosis measures syndrome collection plus decoding.
 func BenchmarkDiagnosis(b *testing.B) {
+	b.ReportAllocs()
 	h := cube.New(6)
 	faults := cube.NewNodeSet(3, 17, 40, 55, 62)
 	rng := xrand.New(11)
@@ -349,6 +373,7 @@ func BenchmarkDiagnosis(b *testing.B) {
 // BenchmarkRecoverySession measures the E15 restart loop at a failure
 // rate that forces occasional retries.
 func BenchmarkRecoverySession(b *testing.B) {
+	b.ReportAllocs()
 	keys := workload.MustGenerate(workload.Uniform, 2000, xrand.New(21))
 	for i := 0; i < b.N; i++ {
 		_, err := recovery.Run(recovery.Config{Dim: 4, MTBF: 20000, Seed: uint64(i)}, keys)
@@ -361,6 +386,7 @@ func BenchmarkRecoverySession(b *testing.B) {
 // BenchmarkCollectiveScatterGather measures the E12 host distribution
 // round trip over the full Q_6.
 func BenchmarkCollectiveScatterGather(b *testing.B) {
+	b.ReportAllocs()
 	mach := machine.MustNew(machine.Config{Dim: 6})
 	members := mach.Healthy()
 	group := collective.MustGroup(members)
@@ -388,6 +414,7 @@ func BenchmarkCollectiveScatterGather(b *testing.B) {
 
 // BenchmarkLinkAwareRouting measures the DFS router with dead links.
 func BenchmarkLinkAwareRouting(b *testing.B) {
+	b.ReportAllocs()
 	h := cube.New(8)
 	links := cube.NewEdgeSet()
 	rng := xrand.New(5)
@@ -409,6 +436,7 @@ func BenchmarkLinkAwareRouting(b *testing.B) {
 // BenchmarkSelection measures distributed k-selection against the full
 // sort on the same configuration (see internal/selection).
 func BenchmarkSelection(b *testing.B) {
+	b.ReportAllocs()
 	faults := cube.NewNodeSet(3, 17)
 	plan, err := partition.BuildPlan(5, faults)
 	if err != nil {
@@ -426,6 +454,7 @@ func BenchmarkSelection(b *testing.B) {
 
 // BenchmarkHeapSort measures the Step 3 local sort.
 func BenchmarkHeapSort(b *testing.B) {
+	b.ReportAllocs()
 	keys := workload.MustGenerate(workload.Uniform, 4096, xrand.New(3))
 	buf := make([]sortutil.Key, len(keys))
 	b.ResetTimer()
@@ -438,6 +467,7 @@ func BenchmarkHeapSort(b *testing.B) {
 
 // BenchmarkCompareSplit measures the per-exchange kernel operation.
 func BenchmarkCompareSplit(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(5)
 	mine := workload.MustGenerate(workload.Uniform, 2048, rng)
 	theirs := workload.MustGenerate(workload.Uniform, 2048, rng)

@@ -1,0 +1,237 @@
+// Command benchjson runs a set of Go benchmarks and emits their results
+// as a stable JSON document (ns/op, B/op, allocs/op per benchmark), or
+// compares a fresh run against a committed baseline and fails when a
+// metric regresses past its threshold.
+//
+// It exists so CI can gate on allocation regressions without external
+// tooling (benchstat is not vendored): the repo commits the baseline
+// (BENCH_PR2.json) and the regression job runs
+//
+//	go run ./cmd/benchjson -bench '^(BenchmarkFig7a|BenchmarkEngineBatch)$' \
+//	    -benchtime 2x -baseline BENCH_PR2.json
+//
+// Comparison rules: allocs/op is the gating metric — it is deterministic
+// for these simulations (virtual-time kernels allocate identically run to
+// run), so the default threshold is tight. ns/op and B/op are reported
+// but only enforced at generous thresholds, because shared CI runners
+// make wall time noisy.
+//
+// Usage:
+//
+//	benchjson -bench 'BenchmarkFig7c' -o BENCH_PR2.json   # write baseline
+//	benchjson -bench '...' -baseline BENCH_PR2.json        # gate in CI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured metrics.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"b_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the file format: results keyed by benchmark name plus the exact
+// command that produced them, so a baseline is reproducible by hand.
+type Doc struct {
+	Command string   `json:"command"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "^(BenchmarkFig7a|BenchmarkEngineBatch|BenchmarkFTSort)$", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "2x", "value passed to go test -benchtime")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("o", "", "write results as JSON to this file (default stdout)")
+		baseline  = flag.String("baseline", "", "compare against this baseline JSON instead of writing; non-zero exit on regression")
+		allocTol  = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op increase over baseline")
+		bytesTol  = flag.Float64("bytes-tolerance", 0.25, "allowed fractional B/op increase over baseline")
+		timeTol   = flag.Float64("time-tolerance", 3.0, "allowed fractional ns/op increase over baseline (loose: CI wall time is noisy)")
+		input     = flag.String("parse", "", "parse an existing `go test -bench` output file instead of running benchmarks")
+	)
+	flag.Parse()
+
+	var (
+		raw     []byte
+		command string
+		err     error
+	)
+	if *input != "" {
+		command = "parsed from " + *input
+		raw, err = os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg}
+		command = "go " + strings.Join(args, " ")
+		fmt.Fprintf(os.Stderr, "benchjson: %s\n", command)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err = cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("benchmark run failed: %w", err))
+		}
+	}
+
+	results, err := parseBench(string(raw))
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *bench))
+	}
+	doc := Doc{Command: command, Results: results}
+
+	if *baseline != "" {
+		base, err := readDoc(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if ok := compare(base, doc, *allocTol, *bytesTol, *timeTol); !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// benchLine matches `go test -bench -benchmem` output rows, e.g.
+//
+//	BenchmarkFig7c-4   2   119450477 ns/op   23925104 B/op   20650 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// parseBench extracts Results from go test -bench output. Benchmarks
+// without -benchmem columns are skipped (everything in this repo reports
+// allocations).
+func parseBench(out string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		bpo, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
+		}
+		apo, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+		}
+		results = append(results, Result{Name: m[1], NsPerOp: ns, BPerOp: bpo, AllocsOp: apo})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+func readDoc(path string) (Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// compare prints a per-benchmark table and returns false if any current
+// metric exceeds baseline*(1+tolerance). Benchmarks present on only one
+// side are reported but never fail the gate (renames shouldn't break CI;
+// the baseline refresh catches them).
+func compare(base, cur Doc, allocTol, bytesTol, timeTol float64) bool {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	ok := true
+	for _, c := range cur.Results {
+		b, found := baseBy[c.Name]
+		if !found {
+			fmt.Printf("%-48s (new; no baseline)\n", c.Name)
+			continue
+		}
+		delete(baseBy, c.Name)
+		allocBad := exceeds(float64(c.AllocsOp), float64(b.AllocsOp), allocTol)
+		bytesBad := exceeds(float64(c.BPerOp), float64(b.BPerOp), bytesTol)
+		timeBad := exceeds(c.NsPerOp, b.NsPerOp, timeTol)
+		status := "ok"
+		if allocBad || bytesBad || timeBad {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-48s allocs %8d -> %8d (%+6.1f%%)  B %10d -> %10d  ns %12.0f -> %12.0f  %s\n",
+			c.Name, b.AllocsOp, c.AllocsOp, pct(float64(c.AllocsOp), float64(b.AllocsOp)),
+			b.BPerOp, c.BPerOp, b.NsPerOp, c.NsPerOp, status)
+		if allocBad {
+			fmt.Printf("  allocs/op regressed beyond %.0f%% tolerance\n", allocTol*100)
+		}
+		if bytesBad {
+			fmt.Printf("  B/op regressed beyond %.0f%% tolerance\n", bytesTol*100)
+		}
+		if timeBad {
+			fmt.Printf("  ns/op regressed beyond %.0f%% tolerance\n", timeTol*100)
+		}
+	}
+	for name := range baseBy {
+		fmt.Printf("%-48s (in baseline but not measured)\n", name)
+	}
+	if !ok {
+		fmt.Println("benchjson: FAIL — regression against baseline")
+	} else {
+		fmt.Println("benchjson: PASS — within baseline tolerances")
+	}
+	return ok
+}
+
+// exceeds reports cur > base*(1+tol), treating a zero baseline as "any
+// increase is a regression" only when cur exceeds a small absolute slack.
+func exceeds(cur, base, tol float64) bool {
+	if base == 0 {
+		return cur > 8 // allow trivial noise over a zero baseline
+	}
+	return cur > base*(1+tol)
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@
 //	POST /v1/sort    one request  {"dim":6,"faults":[3,17],"keys":[...]}
 //	POST /v1/batch   {"requests":[...]} — per-request error isolation
 //	GET  /v1/metrics engine counters (plan hits, machines built/cloned)
+//	                 plus process memory stats (heap, GC, allocation rate)
+//	GET  /debug/pprof/  live profiling (heap, allocs, goroutine, profile)
 //	GET  /healthz
 //
 // The -demo flag skips the network entirely and measures batch
@@ -27,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"hypersort"
@@ -58,8 +62,19 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, eng.Metrics())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"engine": eng.Metrics(),
+			"memory": readMemMetrics(),
+		})
 	})
+	// Live profiling: `go tool pprof http://host/debug/pprof/allocs` is
+	// how the zero-allocation hot path gets verified (and re-verified)
+	// against production-shaped traffic.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/v1/sort", func(w http.ResponseWriter, r *http.Request) {
 		var wreq wireRequest
 		if !readJSON(w, r, &wreq) {
@@ -181,6 +196,33 @@ func toWire(req hypersort.Request, res hypersort.Result) wireResult {
 	return out
 }
 
+// memMetrics is the allocation-health slice of runtime.MemStats exposed
+// on /v1/metrics: enough to watch steady-state allocation rate and GC
+// pressure without scraping full pprof profiles.
+type memMetrics struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	Frees           uint64 `json:"frees"`
+	LiveObjects     uint64 `json:"live_objects"`
+	NumGC           uint32 `json:"num_gc"`
+	PauseTotalNs    uint64 `json:"gc_pause_total_ns"`
+}
+
+func readMemMetrics() memMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memMetrics{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		LiveObjects:     ms.Mallocs - ms.Frees,
+		NumGC:           ms.NumGC,
+		PauseTotalNs:    ms.PauseTotalNs,
+	}
+}
+
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -236,9 +278,13 @@ func runDemo(eng *hypersort.Engine, requests, m int, seed uint64) {
 	fmt.Printf("fresh per-call (plan search + machine build every request): %v  (%.1f req/s)\n",
 		fresh.Round(time.Millisecond), float64(requests)/fresh.Seconds())
 
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start = time.Now()
 	results := eng.SortBatch(reqs)
 	warm := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	for i, res := range results {
 		if res.Err != nil {
 			fatal(fmt.Errorf("request %d: %w", i, res.Err))
@@ -246,6 +292,9 @@ func runDemo(eng *hypersort.Engine, requests, m int, seed uint64) {
 	}
 	fmt.Printf("engine batch   (cached plans, pooled machines):             %v  (%.1f req/s)\n",
 		warm.Round(time.Millisecond), float64(requests)/warm.Seconds())
+	fmt.Printf("warm-path allocations: %.0f allocs/request (%.1f KiB/request)\n",
+		float64(after.Mallocs-before.Mallocs)/float64(requests),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(requests)/1024)
 	fmt.Printf("speedup: %.2fx\n", fresh.Seconds()/warm.Seconds())
 	mtr := eng.Metrics()
 	fmt.Printf("engine metrics: %d requests, %d plan searches (%d cache hits), %d machines built + %d cloned\n",

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"hypersort/internal/machine"
 	"hypersort/internal/xrand"
 )
 
@@ -19,12 +20,22 @@ func TestEngineStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test skipped in -short mode")
 	}
+	// Poison released payloads for the whole stress run: with buffer
+	// recycling live, any kernel that reads a buffer after Release — or
+	// any pool bug that hands one buffer to two owners — surfaces as a
+	// poison sentinel in the tagged-key range checks below.
+	machine.SetReleasePoison(true)
+	defer machine.SetReleasePoison(false)
 	configs := []Config{
 		{Dim: 3},
 		{Dim: 4, Faults: []NodeID{3}},
 		{Dim: 5, Faults: []NodeID{3, 17}, Model: Total},
 		{Dim: 5, Faults: []NodeID{0, 12, 25, 31}},
 		{Dim: 6, Faults: []NodeID{0, 21, 42}, Cost: DefaultCostModel()},
+		// The half-exchange wire protocol doubles the messages per
+		// compare-exchange and releases two payloads per round — the
+		// heaviest user of the recycler.
+		{Dim: 5, Faults: []NodeID{7, 19}, Protocol: HalfExchange},
 	}
 	eng := NewEngine(EngineConfig{PoolSize: 2, BatchWorkers: 8})
 

@@ -53,32 +53,41 @@ func (p Protocol) tagsPerExchange() int {
 // ascending-then-descending sequence and the maxima a
 // descending-then-ascending one; Step 7(c)'s merge of "the two ordered
 // subsequences" restores ascending chunk order.
+//
+// The whole round trip runs on the context's double-buffered arena: pair
+// winners are written into the chunk in place (the evaluated indices
+// never overlap the half that was sent), losers go to the scratch half,
+// received payloads are released back to the machine's pool, and the
+// final merge ping-pongs chunk and scratch — no per-step allocation.
 func (c *Ctx) exchangeSplitHalf(peer cube.NodeID, tag1, tag2 machine.Tag, keepLow bool) {
 	k := len(c.Chunk)
 	h := k / 2
+	scr := c.scratchFor(k)
 	if keepLow {
 		// Round 1 (Step 7a): send my first half, receive theirs.
 		theirs := c.P.Exchange(peer, tag1, c.Chunk[:h])
 		// Round 2 (Step 7b): evaluate pairs t in [h, k): mine[t] vs
 		// theirs[k-1-t]; theirs holds their ascending first half
-		// [0, k-h), and k-1-t for t in [h,k) spans [0, k-h).
-		kept := make([]sortutil.Key, 0, k)
-		losers := make([]sortutil.Key, 0, k-h)
+		// [0, k-h), and k-1-t for t in [h,k) spans [0, k-h). The pair
+		// minimum lands in chunk[t], the loser in scratch (t order).
+		losers := scr[:k-h]
 		for t := h; t < k; t++ {
 			a, b := c.Chunk[t], theirs[k-1-t]
 			if a <= b {
-				kept = append(kept, a)
-				losers = append(losers, b)
+				losers[t-h] = b
 			} else {
-				kept = append(kept, b)
-				losers = append(losers, a)
+				c.Chunk[t] = b
+				losers[t-h] = a
 			}
 		}
+		c.P.Release(theirs)
 		c.P.Compute(k - h)
 		c.P.Send(peer, tag2, losers)
 		won := c.P.Recv(peer, tag2) // minima of pairs [0, h), in t order
+		copy(c.Chunk[:h], won)      // replaces the half sent in round 1
+		c.P.Release(won)
 		// Step 7c: minima in t order are ascending-then-descending.
-		c.Chunk = sortBitonicRuns(append(won, kept...))
+		c.Chunk, c.scratch = sortBitonicRunsInto(scr, c.Chunk), c.Chunk
 		c.P.Compute(k - 1)
 		return
 	}
@@ -87,24 +96,28 @@ func (c *Ctx) exchangeSplitHalf(peer cube.NodeID, tag1, tag2 machine.Tag, keepLo
 	theirs := c.P.Exchange(peer, tag1, c.Chunk[:k-h])
 	// Evaluate pairs t in [0, h): mine in the descending view is
 	// b_desc[t] = chunk[k-1-t]; partner's element is a[t] = theirs[t].
-	kept := make([]sortutil.Key, 0, k)
-	losers := make([]sortutil.Key, 0, h)
+	// The pair maximum lands in chunk[t] (disjoint from the read indices
+	// [k-h, k): k-h >= h for every k), the loser in scratch (t order).
+	losers := scr[:h]
 	for t := 0; t < h; t++ {
 		a, b := theirs[t], c.Chunk[k-1-t]
 		if a >= b {
-			kept = append(kept, a)
-			losers = append(losers, b)
+			c.Chunk[t] = a
+			losers[t] = b
 		} else {
-			kept = append(kept, b)
-			losers = append(losers, a)
+			c.Chunk[t] = b
+			losers[t] = a
 		}
 	}
+	c.P.Release(theirs)
 	c.P.Compute(h)
 	c.P.Send(peer, tag2, losers)
 	won := c.P.Recv(peer, tag2) // maxima of pairs [h, k), in t order
-	// Maxima in t order are descending-then-ascending (kept covers
-	// t in [0,h), won covers t in [h,k)).
-	c.Chunk = sortBitonicRuns(append(kept, won...))
+	copy(c.Chunk[h:], won)
+	c.P.Release(won)
+	// Maxima in t order are descending-then-ascending (chunk[:h] covers
+	// t in [0,h), the received half covers t in [h,k)).
+	c.Chunk, c.scratch = sortBitonicRunsInto(scr, c.Chunk), c.Chunk
 	c.P.Compute(k - 1)
 }
 
@@ -112,10 +125,19 @@ func (c *Ctx) exchangeSplitHalf(peer cube.NodeID, tag1, tag2 machine.Tag, keepLo
 // runs (ascending-then-descending or descending-then-ascending) into
 // ascending order with a single merge — the paper's Step 7(c).
 func sortBitonicRuns(xs []sortutil.Key) []sortutil.Key {
-	n := len(xs)
-	if n <= 1 {
+	if len(xs) <= 1 {
 		return xs
 	}
+	return sortBitonicRunsInto(make([]sortutil.Key, len(xs)), xs)
+}
+
+// sortBitonicRunsInto is sortBitonicRuns writing the result into dst
+// (capacity >= len(xs), no aliasing with xs); it returns the filled dst.
+// xs may be mutated (runs are normalized to ascending in place before
+// the merge) — callers ping-pong it against dst as the next scratch.
+func sortBitonicRunsInto(dst, xs []sortutil.Key) []sortutil.Key {
+	n := len(xs)
+	dst = dst[:n]
 	// Find the end of the first monotone run; equal neighbors continue a
 	// run in either direction, so skip the leading plateau before fixing
 	// the direction and let plateaus extend the run afterwards.
@@ -123,8 +145,9 @@ func sortBitonicRuns(xs []sortutil.Key) []sortutil.Key {
 	for i < n && xs[i] == xs[i-1] {
 		i++
 	}
-	if i == n {
-		return xs // constant sequence
+	if i >= n {
+		copy(dst, xs) // constant or single-element sequence
+		return dst
 	}
 	ascending := xs[i] > xs[i-1]
 	i++
@@ -140,5 +163,5 @@ func sortBitonicRuns(xs []sortutil.Key) []sortutil.Key {
 	if !sortutil.IsSorted(second, sortutil.Ascending) {
 		sortutil.Reverse(second)
 	}
-	return sortutil.Merge(first, second, sortutil.Ascending)
+	return sortutil.MergeInto(dst, first, second, sortutil.Ascending)
 }

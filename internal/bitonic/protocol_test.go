@@ -1,6 +1,7 @@
 package bitonic
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -193,6 +194,75 @@ func TestHalfExchangeDuplicateHeavy(t *testing.T) {
 		}
 		if !sortutil.IsSorted(got, sortutil.Ascending) || !sortutil.SameMultiset(got, keys) {
 			t.Fatalf("trial %d: duplicate-heavy half-exchange wrong", trial)
+		}
+	}
+}
+
+// TestHalfExchangeComparisonAccounting pins the Compute charges of one
+// half-exchange against the paper's Step 7 accounting. Pairing k keys
+// costs k comparisons total, split across the sides: the keep-low side
+// evaluates pairs t in [h, k) and charges k-h = ceil(k/2); the keep-high
+// side evaluates t in [0, h) and charges h = floor(k/2) (the paper's
+// "k/2 per side", with the odd key's comparison landing on the keep-low
+// side). Each side then charges k-1 for the Step 7(c) merge. The in-place
+// kernel rewrite must never change these numbers — they are the cost
+// model, not an implementation detail.
+func TestHalfExchangeComparisonAccounting(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 17} {
+		var mu sync.Mutex
+		charges := map[cube.NodeID][]int{}
+		m := machine.MustNew(machine.Config{Dim: 1, Trace: func(ev machine.TraceEvent) {
+			if ev.Kind != machine.TraceCompute {
+				return
+			}
+			mu.Lock()
+			charges[ev.Node] = append(charges[ev.Node], ev.Keys)
+			mu.Unlock()
+		}})
+		r := xrand.New(uint64(k))
+		a := workload.MustGenerate(workload.Uniform, k, r)
+		b := workload.MustGenerate(workload.Uniform, k, r)
+		sortutil.HeapSort(a, sortutil.Ascending)
+		sortutil.HeapSort(b, sortutil.Ascending)
+		_, err := m.Run([]cube.NodeID{0, 1}, func(p *machine.Proc) error {
+			mine, keepLow := a, true
+			if p.ID() == 1 {
+				mine, keepLow = b, false
+			}
+			ctx := NewCtx(p, FullCube(1), sortutil.Clone(mine))
+			ctx.Protocol = HalfExchange
+			ctx.ExchangeSplit(p.ID()^1, keepLow)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := k / 2
+		want := map[cube.NodeID][]int{
+			0: {k - h, k - 1}, // keep-low: ceil(k/2) pair compares + merge
+			1: {h, k - 1},     // keep-high: floor(k/2) pair compares + merge
+		}
+		for node, w := range want {
+			got := charges[node]
+			if len(got) != len(w) {
+				t.Fatalf("k=%d node %d: %d Compute calls %v, want %v", k, node, len(got), got, w)
+			}
+			for i := range w {
+				if got[i] != w[i] {
+					t.Errorf("k=%d node %d: charge %d = %d, want %d", k, node, i, got[i], w[i])
+				}
+			}
+		}
+		// Cross-check the paper's totals: k pair comparisons across both
+		// sides plus 2(k-1) merge comparisons.
+		total := 0
+		for _, cs := range charges {
+			for _, c := range cs {
+				total += c
+			}
+		}
+		if wantTotal := k + 2*(k-1); total != wantTotal {
+			t.Errorf("k=%d: total comparisons %d, want %d", k, total, wantTotal)
 		}
 	}
 }

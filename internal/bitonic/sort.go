@@ -48,7 +48,10 @@ func SortProto(m *machine.Machine, v View, keys []sortutil.Key, dir sortutil.Dir
 	out := make([][]sortutil.Key, len(live))
 	res, err := m.Run(live, func(p *machine.Proc) error {
 		idx := shareIdx[p.ID()]
-		ctx := NewCtx(p, v, sortutil.Clone(shares[idx]))
+		// Distribute allocated the shares for this call, so the kernel
+		// owns its share outright — no defensive clone needed to keep
+		// the caller's keys untouched.
+		ctx := NewCtx(p, v, shares[idx])
 		ctx.Protocol = proto
 		ctx.SortView(v, dir)
 		out[idx] = ctx.Chunk
@@ -57,19 +60,18 @@ func SortProto(m *machine.Machine, v View, keys []sortutil.Key, dir sortutil.Dir
 	if err != nil {
 		return nil, machine.Result{}, err
 	}
-	gathered := make([]sortutil.Key, 0, len(keys))
+	gathered := make([]sortutil.Key, 0, len(shares)*len(shares[0]))
 	if dir == sortutil.Ascending {
 		for _, chunk := range out {
 			gathered = append(gathered, chunk...)
 		}
 	} else {
 		// Chunks are internally ascending while the block order is
-		// descending; emit each chunk reversed to produce a descending
-		// stream.
+		// descending; emit each chunk reversed (in place — the run is
+		// over and the chunks are ours) to produce a descending stream.
 		for _, chunk := range out {
-			rev := sortutil.Clone(chunk)
-			sortutil.Reverse(rev)
-			gathered = append(gathered, rev...)
+			sortutil.Reverse(chunk)
+			gathered = append(gathered, chunk...)
 		}
 	}
 	return stripDummies(gathered, dir), res, nil

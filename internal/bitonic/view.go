@@ -168,6 +168,10 @@ type Ctx struct {
 	// protocol (tag counters count per-protocol messages).
 	Protocol Protocol
 	tag      machine.Tag
+	// scratch is the second half of the context's double-buffered
+	// arena: each compare-exchange writes its output into scratch and
+	// swaps it with Chunk, so steady state a step allocates nothing.
+	scratch []sortutil.Key
 }
 
 // NewCtx builds the context for a processor participating in view v with
@@ -181,6 +185,16 @@ func NewCtx(p *machine.Proc, v View, chunk []sortutil.Key) *Ctx {
 func (c *Ctx) NextTag() machine.Tag {
 	c.tag++
 	return c.tag
+}
+
+// scratchFor returns the arena's scratch buffer resized to n, allocating
+// only when the current one is too small — in a sort every chunk has the
+// same fixed size, so this allocates once per context lifetime.
+func (c *Ctx) scratchFor(n int) []sortutil.Key {
+	if cap(c.scratch) < n {
+		c.scratch = make([]sortutil.Key, n)
+	}
+	return c.scratch[:n]
 }
 
 // heapsortCost is the paper's worst-case comparison count for heapsort of
@@ -214,7 +228,9 @@ func (c *Ctx) compareExchange(peer cube.NodeID, keepLow bool) {
 		return
 	}
 	theirs := c.P.Exchange(peer, c.NextTag(), c.Chunk)
-	c.Chunk = sortutil.CompareSplit(c.Chunk, theirs, keepLow)
+	dst := sortutil.CompareSplitInto(c.scratchFor(len(c.Chunk)), c.Chunk, theirs, keepLow)
+	c.P.Release(theirs)
+	c.Chunk, c.scratch = dst, c.Chunk
 	c.P.Compute(len(c.Chunk))
 }
 

@@ -110,7 +110,11 @@ func Broadcast(p *machine.Proc, g *Group, root int, tag machine.Tag, keys []sort
 			p.Send(g.Member((dst+root)%pSize), tag, data)
 		}
 	}
-	return append([]sortutil.Key(nil), data...)
+	out := append([]sortutil.Key(nil), data...)
+	if vr != 0 {
+		p.Release(data) // the received payload was copied out above
+	}
+	return out
 }
 
 // Scatter distributes shares[i] to rank i from the root using recursive
@@ -144,6 +148,8 @@ func Scatter(p *machine.Proc, g *Group, root int, tag machine.Tag, shares [][]so
 		flat := p.Recv(g.Member(src), tag)
 		counts := p.Recv(g.Member(src), tag+1)
 		owned = unflatten(flat, counts)
+		p.Release(flat) // unflatten copied both payloads out
+		p.Release(counts)
 		lo = vr
 		hi = vr + len(owned)
 	}
@@ -190,6 +196,8 @@ func Gather(p *machine.Proc, g *Group, root int, tag machine.Tag, mine []sortuti
 		flat := p.Recv(g.Member(src), tag)
 		counts := p.Recv(g.Member(src), tag+1)
 		owned = append(owned, unflatten(flat, counts)...)
+		p.Release(flat) // unflatten copied both payloads out
+		p.Release(counts)
 		hi = lo + len(owned)
 	}
 	if vr != 0 {
@@ -246,6 +254,7 @@ func Reduce(p *machine.Proc, g *Group, root int, tag machine.Tag, value int64, o
 		if childBase < pSize {
 			got := p.Recv(g.Member((childBase+root)%pSize), tag)
 			acc = op(acc, int64(got[0]))
+			p.Release(got)
 			p.Compute(1)
 		}
 	}

@@ -88,6 +88,15 @@ const (
 
 // FTSortOpt is FTSort with explicit algorithm options.
 func FTSortOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, opts Options) ([]sortutil.Key, machine.Result, error) {
+	return FTSortLayout(m, NewLayout(plan), keys, opts)
+}
+
+// FTSortLayout is FTSortOpt with a precomputed layout. A Layout is a
+// pure function of its plan, so callers serving many requests for the
+// same configuration (the engine) build it once and reuse it, skipping
+// the per-request view/slot-map construction.
+func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts Options) ([]sortutil.Key, machine.Result, error) {
+	plan := layout.Plan
 	if plan.Cube.Dim() != m.Cube().Dim() {
 		return nil, machine.Result{}, fmt.Errorf("core: plan for Q_%d used on Q_%d", plan.Cube.Dim(), m.Cube().Dim())
 	}
@@ -102,19 +111,23 @@ func FTSortOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, op
 		}
 	}
 
-	layout := NewLayout(plan)
 	shares, err := workload.Distribute(keys, len(layout.Working))
 	if err != nil {
 		return nil, machine.Result{}, err
 	}
 	out := make([][]sortutil.Key, len(layout.Working))
-	group, err := collective.NewGroup(layout.Working)
-	if err != nil {
-		return nil, machine.Result{}, err
+	var group *collective.Group
+	if opts.AccountDistribution {
+		if group, err = collective.NewGroup(layout.Working); err != nil {
+			return nil, machine.Result{}, err
+		}
 	}
 	res, err := m.Run(layout.Working, func(p *machine.Proc) error {
 		slot := layout.SlotOf[p.ID()]
-		share := sortutil.Clone(shares[slot])
+		// Distribute allocated the shares for this call, so each kernel
+		// owns its share outright (the caller's keys stay untouched
+		// without a defensive clone).
+		share := shares[slot]
 		if opts.AccountDistribution {
 			var all [][]sortutil.Key
 			if slot == 0 {
@@ -136,7 +149,9 @@ func FTSortOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, op
 	if err != nil {
 		return nil, machine.Result{}, err
 	}
-	gathered := make([]sortutil.Key, 0, len(keys))
+	// Every chunk has the padded share size, so size the gather exactly
+	// (len(keys) undercounts by the dummy padding).
+	gathered := make([]sortutil.Key, 0, len(shares)*len(shares[0]))
 	for _, chunk := range out {
 		gathered = append(gathered, chunk...)
 	}

@@ -57,12 +57,15 @@ func VerifyDistributed(m *machine.Machine, plan *partition.Plan, chunks [][]sort
 				if prev[0] > mine[0] {
 					ok = false
 				}
+				p.Release(prev)
 				p.Compute(1)
 			}
 		} else {
 			running := sortutil.NegInf
 			if slot > 0 {
-				running = p.Recv(layout.Working[slot-1], boundaryTag)[0]
+				got := p.Recv(layout.Working[slot-1], boundaryTag)
+				running = got[0]
+				p.Release(got)
 			}
 			if hasNext {
 				p.Send(layout.Working[slot+1], boundaryTag, []sortutil.Key{running})

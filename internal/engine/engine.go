@@ -136,11 +136,15 @@ type Engine struct {
 	cloned     atomic.Int64
 }
 
-// planEntry single-flights one configuration's partition search.
+// planEntry single-flights one configuration's partition search and
+// caches the derived kernel layout (views, working order, slot map) —
+// a pure function of the plan that would otherwise be rebuilt on every
+// request.
 type planEntry struct {
-	once sync.Once
-	plan *partition.Plan
-	err  error
+	once   sync.Once
+	plan   *partition.Plan
+	layout *core.Layout
+	err    error
 }
 
 // poolKey identifies one machine pool: everything machine.New consumes.
@@ -208,9 +212,10 @@ func validate(cfg Config) error {
 	return nil
 }
 
-// plan returns the cached partition plan for key, running the search
-// exactly once per key (single-flight). Failures are cached too.
-func (e *Engine) plan(key partition.PlanKey, cfg Config) (*partition.Plan, error) {
+// plan returns the cached plan entry for key, running the partition
+// search (and the layout derivation) exactly once per key
+// (single-flight). Failures are cached too.
+func (e *Engine) plan(key partition.PlanKey, cfg Config) (*planEntry, error) {
 	e.mu.Lock()
 	entry, ok := e.plans[key]
 	if !ok {
@@ -225,8 +230,11 @@ func (e *Engine) plan(key partition.PlanKey, cfg Config) (*partition.Plan, error
 	}
 	entry.once.Do(func() {
 		entry.plan, entry.err = partition.BuildPlan(cfg.Dim, cube.NewNodeSet(cfg.Faults...))
+		if entry.err == nil {
+			entry.layout = core.NewLayout(entry.plan)
+		}
 	})
-	return entry.plan, entry.err
+	return entry, entry.err
 }
 
 // poolFor returns the machine pool for key, creating it on first use.
@@ -270,7 +278,11 @@ func (e *Engine) Plan(cfg Config) (*partition.Plan, error) {
 		return nil, err
 	}
 	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
-	return e.plan(key, cfg)
+	entry, err := e.plan(key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return entry.plan, nil
 }
 
 // Do executes one request synchronously and returns its result. Errors —
@@ -288,10 +300,11 @@ func (e *Engine) Do(req Request) (res Result) {
 		return Result{Err: err}
 	}
 	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
-	plan, err := e.plan(key, cfg)
+	entry, err := e.plan(key, cfg)
 	if err != nil {
 		return Result{Err: err}
 	}
+	plan := entry.plan
 	pl := e.poolFor(poolKey{pk: key, cost: cfg.Cost}, cfg)
 	m, err := pl.acquire()
 	if err != nil {
@@ -305,7 +318,7 @@ func (e *Engine) Do(req Request) (res Result) {
 	keys := req.Keys
 	switch req.Op {
 	case OpSort:
-		out, r, err := core.FTSortOpt(m, plan, keys, core.Options{
+		out, r, err := core.FTSortLayout(m, entry.layout, keys, core.Options{
 			Protocol:            cfg.Protocol,
 			AccountDistribution: cfg.AccountDistribution,
 		})

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"math/bits"
+	"sync"
+
+	"hypersort/internal/sortutil"
+)
+
+// keyPool recycles message payload slices by power-of-two size class.
+// Send acquires a buffer here and copies the caller's keys into it; the
+// receiver owns the buffer after Recv and may hand it back with
+// Proc.Release once it is done reading. Steady state a kernel exchanging
+// fixed-size chunks does O(1) payload allocations per run instead of one
+// per message.
+//
+// The pool is shared by a machine and all its Clones (it holds no
+// per-run state) so warm buffers survive across the engine's pooled
+// machines; a mutex per size class makes it safe for concurrent use.
+// Plain freelist stacks rather than sync.Pool: Put-ing a slice into a
+// sync.Pool boxes the header into a fresh interface allocation on every
+// call, which would put an allocation right back on the path the pool
+// exists to clear.
+type keyPool struct {
+	// classes[c] holds buffers with capacity in [2^c, 2^(c+1)); get
+	// allocates with capacity exactly 2^c, so any pooled buffer of class
+	// c can serve any request that maps to class c.
+	classes [maxSizeClass]freelist
+}
+
+// freelist is one size class: a bounded LIFO stack of idle buffers.
+type freelist struct {
+	mu   sync.Mutex
+	bufs [][]sortutil.Key
+}
+
+// maxSizeClass bounds the size classes: payloads of 2^(maxSizeClass-1)
+// keys or more are not pooled (no workload sends gigabyte messages; the
+// bound only guards the array size).
+const maxSizeClass = 40
+
+// maxPerClass caps each class's idle stack; beyond it released buffers
+// go to the garbage collector. At class 20 (8 MiB buffers) that bounds a
+// class's idle memory at ~8 GiB only in a pathological workload — real
+// runs keep a handful of buffers per class hot.
+const maxPerClass = 1024
+
+// sizeClass returns the smallest c with 1<<c >= n, for n >= 1.
+func sizeClass(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a buffer of length n, recycled when a pooled buffer of
+// n's size class is available. Contents are unspecified; the caller must
+// overwrite all n elements.
+func (kp *keyPool) get(n int) []sortutil.Key {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c >= maxSizeClass {
+		return make([]sortutil.Key, n)
+	}
+	fl := &kp.classes[c]
+	fl.mu.Lock()
+	if last := len(fl.bufs) - 1; last >= 0 {
+		b := fl.bufs[last]
+		fl.bufs[last] = nil
+		fl.bufs = fl.bufs[:last]
+		fl.mu.Unlock()
+		return b[:n]
+	}
+	fl.mu.Unlock()
+	return make([]sortutil.Key, n, 1<<c)
+}
+
+// put returns a buffer to its size class for reuse. The class is the
+// floor log2 of the capacity, so a recycled buffer always has capacity
+// >= the class's get size. Zero-capacity and oversized buffers are
+// dropped for the garbage collector.
+func (kp *keyPool) put(b []sortutil.Key) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1
+	if cl >= maxSizeClass {
+		return
+	}
+	if poisonReleased {
+		b = b[:c]
+		for i := range b {
+			b[i] = poisonKey
+		}
+	}
+	fl := &kp.classes[cl]
+	fl.mu.Lock()
+	if len(fl.bufs) < maxPerClass {
+		fl.bufs = append(fl.bufs, b[:0])
+	}
+	fl.mu.Unlock()
+}
+
+// poisonReleased, when set (by tests, before any runs start), makes put
+// overwrite every released payload with poisonKey. A kernel that
+// illegally keeps reading a buffer after Release then observes the
+// sentinel deterministically instead of silently racing with the next
+// Send — the aliasing tests run whole sorts with poisoning on and assert
+// the output is untainted.
+var poisonReleased bool
+
+// poisonKey is an implausible key value: not Inf, not NegInf, not
+// produced by any workload generator.
+const poisonKey sortutil.Key = -0x5EED5EED5EED5EED
+
+// SetReleasePoison toggles payload poisoning for tests. It must not be
+// called while runs are in flight.
+func SetReleasePoison(on bool) { poisonReleased = on }

@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+func TestSizeClassRoundTrip(t *testing.T) {
+	// Every buffer get hands out must land back in a class whose get size
+	// its capacity can serve: put(get(n)) must be reusable for n.
+	kp := &keyPool{}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 1000, 1024, 1025, 1 << 20} {
+		b := kp.get(n)
+		if len(b) != n {
+			t.Fatalf("get(%d) returned len %d", n, len(b))
+		}
+		ptr := &b[0]
+		kp.put(b)
+		b2 := kp.get(n)
+		if &b2[0] != ptr {
+			t.Errorf("get(%d) after put did not recycle the buffer", n)
+		}
+	}
+}
+
+func TestPoolGetZero(t *testing.T) {
+	kp := &keyPool{}
+	if b := kp.get(0); b != nil {
+		t.Fatalf("get(0) = %v, want nil", b)
+	}
+	kp.put(nil) // must not panic
+}
+
+func TestPoolBoundedPerClass(t *testing.T) {
+	kp := &keyPool{}
+	for i := 0; i < maxPerClass+50; i++ {
+		kp.put(make([]sortutil.Key, 8))
+	}
+	fl := &kp.classes[sizeClass(8)]
+	if got := len(fl.bufs); got != maxPerClass {
+		t.Fatalf("class holds %d buffers, want capped at %d", got, maxPerClass)
+	}
+}
+
+func TestPoolConcurrentGetPut(t *testing.T) {
+	kp := &keyPool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 1 + (g*13+i)%300
+				b := kp.get(n)
+				for j := range b {
+					b[j] = sortutil.Key(n)
+				}
+				kp.put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRecycledPayloadNotAliased runs many rounds of message traffic with
+// release poisoning on and asserts no kernel ever observes the poison
+// sentinel: a recycled buffer must never be visible through a previously
+// received (and released) slice, across kernels and across runs. The
+// ring-exchange kernel releases every payload immediately after copying
+// it out, so every buffer cycles through the pool each round.
+func TestRecycledPayloadNotAliased(t *testing.T) {
+	SetReleasePoison(true)
+	defer SetReleasePoison(false)
+
+	m := MustNew(Config{Dim: 4})
+	parts := m.Healthy()
+	const rounds = 20
+	for run := 0; run < 5; run++ {
+		_, err := m.Run(parts, func(p *Proc) error {
+			next := cube.NodeID((int(p.ID()) + 1) % len(parts))
+			prev := cube.NodeID((int(p.ID()) + len(parts) - 1) % len(parts))
+			val := sortutil.Key(int(p.ID()) + run*1000)
+			payload := []sortutil.Key{val, val + 1, val + 2}
+			for r := 0; r < rounds; r++ {
+				p.Send(next, Tag(r), payload)
+				got := p.Recv(prev, Tag(r))
+				want := sortutil.Key(int(prev) + run*1000)
+				for i, k := range got {
+					if k == poisonKey {
+						t.Errorf("run %d round %d: node %d observed poisoned payload", run, r, p.ID())
+					}
+					if k != want+sortutil.Key(i) {
+						t.Errorf("run %d round %d: node %d got[%d] = %d, want %d", run, r, p.ID(), i, k, want+sortutil.Key(i))
+					}
+				}
+				p.Release(got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReleasePoisonDetectsUseAfterRelease is the positive control for the
+// aliasing tests: a kernel that (illegally) reads a buffer after Release,
+// once the pool has recycled it into a new Send, must observe either the
+// poison sentinel or the new owner's data — never stale original data
+// presented as fresh. This pins the poisoning machinery the sort-level
+// aliasing tests rely on.
+func TestReleasePoisonDetectsUseAfterRelease(t *testing.T) {
+	SetReleasePoison(true)
+	defer SetReleasePoison(false)
+
+	m := MustNew(Config{Dim: 1})
+	_, err := m.Run([]cube.NodeID{0, 1}, func(p *Proc) error {
+		if p.ID() == 1 {
+			p.Send(0, 1, []sortutil.Key{42, 42, 42, 42})
+			p.Send(0, 2, []sortutil.Key{7, 7, 7, 7})
+			return nil
+		}
+		got := p.Recv(1, 1)
+		p.Release(got)
+		// got is now illegal to read. The release poisoned it, so the
+		// stale view must be the sentinel (until a new Send reuses it).
+		if got[0] != poisonKey {
+			t.Errorf("released buffer reads %d, want poison sentinel", got[0])
+		}
+		second := p.Recv(1, 2)
+		p.Release(second)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -117,6 +117,15 @@ type Machine struct {
 	cfg    Config
 	router routing.Router
 	nodes  []*node
+	// healthy caches the fault-free addresses (ascending) — immutable
+	// topology, computed once at New and shared by Clones.
+	healthy []cube.NodeID
+	// bufs recycles message payload slices; shared with Clones so warm
+	// buffers survive across an engine pool's machines.
+	bufs *keyPool
+	// hopper is the router's allocation-free hop-count fast path, nil
+	// when the router only materializes full paths.
+	hopper routing.HopCounter
 }
 
 // node is the per-processor state. Each node's clock and counters are
@@ -176,6 +185,14 @@ func New(cfg Config) (*Machine, error) {
 		id := cube.NodeID(i)
 		m.nodes[i] = &node{id: id, box: newMailbox(), faulty: cfg.Faults.Has(id)}
 	}
+	m.healthy = make([]cube.NodeID, 0, h.Size()-len(cfg.Faults))
+	for id := cube.NodeID(0); id < cube.NodeID(h.Size()); id++ {
+		if !cfg.Faults.Has(id) {
+			m.healthy = append(m.healthy, id)
+		}
+	}
+	m.bufs = &keyPool{}
+	m.hopper, _ = m.router.(routing.HopCounter)
 	return m, nil
 }
 
@@ -191,7 +208,7 @@ func New(cfg Config) (*Machine, error) {
 // Clone may be called while the source machine is mid-Run: it reads only
 // immutable configuration.
 func (m *Machine) Clone() *Machine {
-	c := &Machine{h: m.h, cfg: m.cfg, router: m.router}
+	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper}
 	c.nodes = make([]*node, m.h.Size())
 	for i := range c.nodes {
 		id := cube.NodeID(i)
@@ -222,15 +239,10 @@ func (m *Machine) Cost() CostModel { return m.cfg.Cost }
 func (m *Machine) Model() FaultModel { return m.cfg.Model }
 
 // Healthy returns the fault-free processor addresses in ascending order.
-func (m *Machine) Healthy() []cube.NodeID {
-	out := make([]cube.NodeID, 0, m.h.Size()-len(m.cfg.Faults))
-	for id := cube.NodeID(0); id < cube.NodeID(m.h.Size()); id++ {
-		if !m.cfg.Faults.Has(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// The slice is cached on the immutable topology at construction time and
+// shared by Clones: treat it as read-only (copy before sorting or
+// mutating).
+func (m *Machine) Healthy() []cube.NodeID { return m.healthy }
 
 // Kernel is the SPMD program each participating processor executes. The
 // Proc argument is that processor's machine interface. A kernel returning
@@ -280,7 +292,11 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 	for _, nd := range m.nodes {
 		nd.clock = 0
 		nd.msgsSent, nd.keysSent, nd.keyHops, nd.compares, nd.recvWaits = 0, 0, 0, 0, 0
-		nd.box.reset()
+		// Undelivered payloads from an aborted previous run go back to
+		// the pool: no kernel goroutine is alive to reference them.
+		for _, msg := range nd.box.reset() {
+			m.bufs.put(msg.keys)
+		}
 	}
 	bar := newBarrier(len(participants))
 	abortAll := func() {
@@ -349,6 +365,11 @@ func (m *Machine) RunAllHealthy(kernel Kernel) (Result, error) {
 func (m *Machine) Hops(src, dst cube.NodeID) (int, error) {
 	if src == dst {
 		return 0, nil
+	}
+	// Every message is priced by hop count alone, so prefer the router's
+	// path-free counter (cached at construction) over materializing a Path.
+	if m.hopper != nil {
+		return m.hopper.Hops(src, dst)
 	}
 	p, err := m.router.Route(src, dst)
 	if err != nil {

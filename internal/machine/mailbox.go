@@ -35,12 +35,15 @@ func newMailbox() *mailbox {
 	return mb
 }
 
-// reset clears the queue and abort flag between runs.
-func (mb *mailbox) reset() {
+// reset clears the queue and abort flag between runs, returning any
+// undelivered messages so the machine can recycle their payloads.
+func (mb *mailbox) reset() []message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	left := mb.q
 	mb.q = nil
 	mb.aborted = false
+	return left
 }
 
 // put enqueues a message and wakes any waiting receiver.

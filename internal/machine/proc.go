@@ -109,7 +109,8 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 	if hops == 0 {
 		arrival = p.nd.clock
 	}
-	payload := append([]sortutil.Key(nil), keys...)
+	payload := p.m.bufs.get(len(keys))
+	copy(payload, keys)
 	p.nd.msgsSent++
 	p.nd.keysSent += int64(len(keys))
 	p.nd.keyHops += int64(len(keys)) * int64(hops)
@@ -119,7 +120,11 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 
 // Recv blocks until a message with the given source and tag arrives,
 // advances the clock to the message's arrival time if later, and returns
-// the payload. The returned slice is owned by the caller.
+// the payload. The returned slice is owned by the caller: it may be read
+// or mutated freely, and a caller that is done with it before the kernel
+// returns should hand it back with Release so the next Send can reuse
+// the buffer instead of allocating. Never retain a slice after releasing
+// it.
 func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
 	m, waited, ok := p.nd.box.take(src, tag)
 	if !ok {
@@ -138,10 +143,20 @@ func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
 // Exchange performs the symmetric compare-exchange transfer: send keys to
 // peer and receive the peer's keys, both under the same tag. It is the
 // communication pattern of the paper's Step 7 and of every bitonic stage.
+// The returned slice follows Recv's ownership rules (release when done).
 func (p *Proc) Exchange(peer cube.NodeID, tag Tag, keys []sortutil.Key) []sortutil.Key {
 	p.Send(peer, tag, keys)
 	return p.Recv(peer, tag)
 }
+
+// Release hands a payload slice obtained from Recv back to the machine's
+// buffer pool so a later Send can reuse it. After Release the caller
+// must not touch the slice again — the next Send on any node of this
+// machine (or a Clone) may overwrite it. Releasing is optional:
+// unreleased payloads are simply garbage collected. Kernels on the hot
+// path release every payload they finish reading, which keeps a run at
+// O(1) payload allocations steady-state instead of O(messages).
+func (p *Proc) Release(buf []sortutil.Key) { p.m.bufs.put(buf) }
 
 // Barrier blocks until every participant of the run reaches it, then
 // synchronizes the clock to the group maximum. It models phase structure

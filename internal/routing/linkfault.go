@@ -83,6 +83,7 @@ type linkAwareRouter struct {
 	h          cube.Hypercube
 	nodeFaults cube.NodeSet
 	linkFaults cube.EdgeSet
+	memo       *hopMemo
 }
 
 // NewLinkAwareRouter returns a router that avoids both faulty processors
@@ -95,11 +96,17 @@ func NewLinkAwareRouter(h cube.Hypercube, nodeFaults cube.NodeSet, linkFaults cu
 	if linkFaults == nil {
 		linkFaults = cube.NewEdgeSet()
 	}
-	return linkAwareRouter{h: h, nodeFaults: nodeFaults.Clone(), linkFaults: linkFaults.Clone()}
+	return linkAwareRouter{h: h, nodeFaults: nodeFaults.Clone(), linkFaults: linkFaults.Clone(), memo: newHopMemo()}
 }
 
 func (r linkAwareRouter) Route(src, dst cube.NodeID) (Path, error) {
 	return FaultAvoidingLinks(r.h, src, dst, r.nodeFaults, r.linkFaults)
+}
+
+// Hops implements HopCounter by memoizing the DFS result per pair (the
+// fault sets are fixed for the router's lifetime).
+func (r linkAwareRouter) Hops(src, dst cube.NodeID) (int, error) {
+	return r.memo.hops(src, dst, func() (Path, error) { return r.Route(src, dst) })
 }
 
 func (r linkAwareRouter) Name() string { return "link-aware" }

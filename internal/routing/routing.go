@@ -20,6 +20,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"hypersort/internal/cube"
 )
@@ -156,6 +157,15 @@ type Router interface {
 	Name() string
 }
 
+// HopCounter is an optional Router fast path. The simulator prices a
+// message by hop count alone, so routers that can produce the count
+// without materializing a Path implement it and the machine prefers it —
+// on the default e-cube discipline that makes pricing a Send
+// allocation-free. Implementations must agree with Route's hop count.
+type HopCounter interface {
+	Hops(src, dst cube.NodeID) (int, error)
+}
+
 // ecubeRouter implements Router over ECube.
 type ecubeRouter struct{ h cube.Hypercube }
 
@@ -169,20 +179,73 @@ func (r ecubeRouter) Route(src, dst cube.NodeID) (Path, error) {
 
 func (r ecubeRouter) Name() string { return "e-cube" }
 
+// Hops implements HopCounter: dimension-order routing always takes the
+// Hamming-distance shortest path.
+func (r ecubeRouter) Hops(src, dst cube.NodeID) (int, error) {
+	return cube.HammingDistance(src, dst), nil
+}
+
+// hopMemo caches hop counts for routers whose path search is expensive.
+// A router's fault sets are immutable, so a pair's hop count never
+// changes; the memo is shared by every machine holding the router
+// (Clones included) and is safe for concurrent use. Negative entries
+// record "no path" so doomed searches are not repeated either.
+type hopMemo struct {
+	mu sync.RWMutex
+	m  map[uint64]int
+}
+
+func newHopMemo() *hopMemo { return &hopMemo{m: make(map[uint64]int)} }
+
+func memoKey(src, dst cube.NodeID) uint64 {
+	return uint64(src)<<32 | uint64(uint32(dst))
+}
+
+// hops serves a cached count, or runs route once and caches its result.
+func (hm *hopMemo) hops(src, dst cube.NodeID, route func() (Path, error)) (int, error) {
+	key := memoKey(src, dst)
+	hm.mu.RLock()
+	h, ok := hm.m[key]
+	hm.mu.RUnlock()
+	if !ok {
+		p, err := route()
+		if err != nil {
+			h = -1
+		} else {
+			h = p.Hops()
+		}
+		hm.mu.Lock()
+		hm.m[key] = h
+		hm.mu.Unlock()
+	}
+	if h < 0 {
+		return 0, ErrNoPath{Src: src, Dst: dst}
+	}
+	return h, nil
+}
+
 // avoidRouter implements Router over FaultAvoiding with a fixed fault set.
 type avoidRouter struct {
 	h      cube.Hypercube
 	faults cube.NodeSet
+	memo   *hopMemo
 }
 
 // NewFaultAvoidingRouter returns the adaptive router for the total-fault
 // model: paths never cross the given faulty processors.
 func NewFaultAvoidingRouter(h cube.Hypercube, faults cube.NodeSet) Router {
-	return avoidRouter{h: h, faults: faults.Clone()}
+	return avoidRouter{h: h, faults: faults.Clone(), memo: newHopMemo()}
 }
 
 func (r avoidRouter) Route(src, dst cube.NodeID) (Path, error) {
 	return FaultAvoiding(r.h, src, dst, r.faults)
+}
+
+// Hops implements HopCounter by memoizing the DFS result per pair: the
+// fault set is fixed, so each pair pays the search once per router
+// lifetime instead of once per message.
+func (r avoidRouter) Hops(src, dst cube.NodeID) (int, error) {
+	return r.memo.hops(src, dst, func() (Path, error) { return r.Route(src, dst) })
 }
 
 func (r avoidRouter) Name() string { return "fault-avoiding" }

@@ -210,8 +210,16 @@ func MergeInto(dst, a, b []Key, d Direction) []Key {
 // Step 7 protocol; this function is the arithmetic both endpoints agree
 // on.
 func CompareSplit(mine, theirs []Key, keepLow bool) []Key {
+	return CompareSplitInto(make([]Key, 0, len(mine)), mine, theirs, keepLow)
+}
+
+// CompareSplitInto is CompareSplit writing into dst (which must have
+// capacity len(mine) and must not alias mine or theirs); it returns the
+// filled dst. The machine kernels call it with a per-processor scratch
+// buffer so a compare-exchange step allocates nothing.
+func CompareSplitInto(dst, mine, theirs []Key, keepLow bool) []Key {
 	k := len(mine)
-	out := make([]Key, 0, k)
+	out := dst[:0]
 	if keepLow {
 		i, j := 0, 0
 		for len(out) < k {

@@ -124,18 +124,18 @@ func Distribute(keys []sortutil.Key, p int) ([][]sortutil.Key, error) {
 	if q == 0 {
 		q = 1 // every processor holds at least one (dummy) slot
 	}
+	// One backing array for all shares: the shares are freshly owned by
+	// the caller (kernels mutate them in place), and full slice
+	// expressions keep an append on one share from bleeding into the
+	// next.
+	backing := make([]sortutil.Key, p*q)
+	n := copy(backing, keys)
+	for i := n; i < len(backing); i++ {
+		backing[i] = sortutil.Inf
+	}
 	shares := make([][]sortutil.Key, p)
 	for i := 0; i < p; i++ {
-		share := make([]sortutil.Key, q)
-		for j := 0; j < q; j++ {
-			idx := i*q + j
-			if idx < len(keys) {
-				share[j] = keys[idx]
-			} else {
-				share[j] = sortutil.Inf
-			}
-		}
-		shares[i] = share
+		shares[i] = backing[i*q : (i+1)*q : (i+1)*q]
 	}
 	return shares, nil
 }
