@@ -25,13 +25,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"hypersort"
@@ -53,6 +57,7 @@ func main() {
 
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: *pool, BatchWorkers: *workers})
 	if *demo {
+		defer eng.Close()
 		runDemo(eng, *requests, *m, *seed)
 		return
 	}
@@ -116,11 +121,27 @@ func main() {
 		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	})
 
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+	// requests, then retires the engine's pooled worker goroutines — the
+	// teardown half of the persistent-worker substrate.
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		}
+	}()
 	fmt.Printf("serve: listening on %s (pool=%d workers=%d)\n", *addr, *pool, *workers)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	eng.Close()
+	fmt.Println("serve: drained, workers retired")
 }
 
 // wireRequest is the JSON shape of one request.

@@ -80,6 +80,14 @@ type Result struct {
 	Err   error
 }
 
+// Close retires the persistent worker goroutines of the engine's pooled
+// machines. Call it when done serving — typically on server shutdown,
+// after in-flight requests have drained. The engine remains usable
+// afterwards (machines respawn workers on demand), so Close is a
+// resource release, not a poison pill; it is idempotent and safe to
+// defer at construction time.
+func (e *Engine) Close() { e.eng.Close() }
+
 // EngineMetrics snapshots an engine's lifetime counters: requests
 // served, plan-cache hits and misses, and machines constructed (full
 // builds versus pool-clone fast-paths).

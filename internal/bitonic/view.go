@@ -100,6 +100,15 @@ func (v View) Phys(logical cube.NodeID) cube.NodeID {
 	return addr
 }
 
+// PeerPhys returns the physical address of the logical-dimension-j
+// neighbor of the processor whose physical address is self. Phys is
+// XOR-linear in the logical bits (flipping logical bit j flips exactly
+// physical bit Dims[j]), so the neighbor is one XOR away — no remapping
+// loop. Valid only when self is inside the view.
+func (v View) PeerPhys(self cube.NodeID, j int) cube.NodeID {
+	return self ^ 1<<v.Dims[j]
+}
+
 // Logical maps a physical address inside the view back to its logical
 // address. It is the inverse of Phys for addresses whose frozen bits
 // match Fixed; other addresses are outside the view and yield an
@@ -210,9 +219,18 @@ func heapsortCost(k int) int {
 	return (k-1)*log + 1
 }
 
-// LocalSort heapsorts the chunk ascending and charges the clock.
+// hostSort executes local sorts on the host. The default is pdqsort
+// (sortutil.SortHost): the simulated algorithm is still the paper's
+// Step 3 heapsort — LocalSort charges heapsortCost regardless — but the
+// host produces the (unique) sorted permutation the fastest way it can.
+// The conformance test swaps HeapSort back in to pin that Results are
+// bit-identical either way.
+var hostSort = sortutil.SortHost
+
+// LocalSort sorts the chunk ascending and charges the clock the paper's
+// heapsort cost.
 func (c *Ctx) LocalSort() {
-	sortutil.HeapSort(c.Chunk, sortutil.Ascending)
+	hostSort(c.Chunk, sortutil.Ascending)
 	c.P.Compute(heapsortCost(len(c.Chunk)))
 }
 
@@ -228,7 +246,28 @@ func (c *Ctx) compareExchange(peer cube.NodeID, keepLow bool) {
 		return
 	}
 	theirs := c.P.Exchange(peer, c.NextTag(), c.Chunk)
-	dst := sortutil.CompareSplitInto(c.scratchFor(len(c.Chunk)), c.Chunk, theirs, keepLow)
+	// Already-separated fast paths: when the two sorted chunks do not
+	// interleave, the compare-split result is one of them verbatim, so
+	// skip the merge loop (and, when it is our own chunk, the copy too).
+	// The conditions mirror CompareSplitInto's tie-breaking exactly —
+	// equal keys keep "mine" — so the kept keys are bit-identical to the
+	// slow path's, and the virtual-time charge below is the same
+	// len(Chunk) either way: host shortcuts never touch simulated cost.
+	k := len(c.Chunk)
+	if k > 0 && len(theirs) == k {
+		if keepLow && c.Chunk[k-1] <= theirs[0] || !keepLow && c.Chunk[0] >= theirs[k-1] {
+			c.P.Release(theirs)
+			c.P.Compute(k)
+			return
+		}
+		if keepLow && theirs[k-1] < c.Chunk[0] || !keepLow && theirs[0] > c.Chunk[k-1] {
+			copy(c.Chunk, theirs)
+			c.P.Release(theirs)
+			c.P.Compute(k)
+			return
+		}
+	}
+	dst := sortutil.CompareSplitInto(c.scratchFor(k), c.Chunk, theirs, keepLow)
 	c.P.Release(theirs)
 	c.Chunk, c.scratch = dst, c.Chunk
 	c.P.Compute(len(c.Chunk))
@@ -256,7 +295,7 @@ func (c *Ctx) BitonicMergeView(v View, dir sortutil.Direction) {
 		if dir == sortutil.Descending {
 			keepLow = !keepLow
 		}
-		c.compareExchange(v.Phys(peerLogical), keepLow)
+		c.compareExchange(v.PeerPhys(c.P.ID(), j), keepLow)
 	}
 }
 
@@ -315,7 +354,7 @@ func (c *Ctx) MergeView(v View, dir sortutil.Direction) {
 			if dir == sortutil.Descending {
 				keepLow = !keepLow
 			}
-			c.compareExchange(v.Phys(peerLogical), keepLow)
+			c.compareExchange(v.PeerPhys(c.P.ID(), j), keepLow)
 		}
 	}
 }

@@ -77,6 +77,12 @@ type Options struct {
 	// after each Step 8 re-sort) — the programmatic form of the paper's
 	// Figure 6 walkthrough. Called concurrently; see StateRecorder.
 	StepHook StepHook
+	// PerNodeBuf, if non-nil, is cleared, filled, and installed as the
+	// Result's PerNode map instead of allocating a fresh one per call
+	// (machine.RunInto's contract). Pooled callers pass the buffer from
+	// the previous run on the same resource; it belongs to the returned
+	// Result until the caller is done with it.
+	PerNodeBuf map[cube.NodeID]machine.Time
 }
 
 // Collective tags live far above the bitonic context's counter so the
@@ -122,7 +128,7 @@ func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts 
 			return nil, machine.Result{}, err
 		}
 	}
-	res, err := m.Run(layout.Working, func(p *machine.Proc) error {
+	res, err := m.RunInto(layout.Working, func(p *machine.Proc) error {
 		slot := layout.SlotOf[p.ID()]
 		// Distribute allocated the shares for this call, so each kernel
 		// owns its share outright (the caller's keys stay untouched
@@ -145,7 +151,7 @@ func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts 
 		}
 		out[slot] = chunk
 		return nil
-	})
+	}, opts.PerNodeBuf)
 	if err != nil {
 		return nil, machine.Result{}, err
 	}

@@ -97,6 +97,12 @@ type Request struct {
 // meaningful, according to the request's Op: Keys for OpSort and OpTopK,
 // Value for OpKthSmallest and OpMedian. Err is per-request: a failed
 // request reports here and nowhere else.
+//
+// Res.PerNode aliases a buffer pooled with the machine that served the
+// request (see lease): it is valid until the engine serves another
+// request on the same configuration. Callers that hold results across
+// further engine traffic must copy the map; every aggregate counter in
+// Res is a plain value and safe to keep.
 type Result struct {
 	Keys  []sortutil.Key
 	Value sortutil.Key
@@ -170,6 +176,24 @@ func New(poolSize, workers int) *Engine {
 		workers:  workers,
 		plans:    make(map[partition.PlanKey]*planEntry),
 		pools:    make(map[poolKey]*pool),
+	}
+}
+
+// Close retires the persistent worker goroutines of every pooled
+// machine. Call it when the engine is done serving — e.g. on server
+// shutdown — after all in-flight requests have completed; requests
+// issued after Close still work (a closed machine respawns its workers
+// on the next run) but lose the warm-worker amortization. Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	pools := make([]*pool, 0, len(e.pools))
+	for _, p := range e.pools {
+		pools = append(pools, p)
+	}
+	e.mu.Unlock()
+	for _, p := range pools {
+		p.close()
 	}
 }
 
@@ -306,11 +330,12 @@ func (e *Engine) Do(req Request) (res Result) {
 	}
 	plan := entry.plan
 	pl := e.poolFor(poolKey{pk: key, cost: cfg.Cost}, cfg)
-	m, err := pl.acquire()
+	l, err := pl.acquire()
 	if err != nil {
 		return Result{Err: err}
 	}
-	defer pl.release(m)
+	defer pl.release(l)
+	m := l.m
 
 	// Keys pass through uncloned: every downstream path (FTSortOpt,
 	// selection) treats the input as read-only, cloning per-processor
@@ -321,7 +346,14 @@ func (e *Engine) Do(req Request) (res Result) {
 		out, r, err := core.FTSortLayout(m, entry.layout, keys, core.Options{
 			Protocol:            cfg.Protocol,
 			AccountDistribution: cfg.AccountDistribution,
+			// Reuse the lease's PerNode buffer run over run (first run
+			// allocates it, the capture below pools it) — the aliasing
+			// rule is documented on Result.
+			PerNodeBuf: l.perNode,
 		})
+		if r.PerNode != nil {
+			l.perNode = r.PerNode
+		}
 		return Result{Keys: out, Res: r, Err: err}
 	case OpKthSmallest:
 		v, r, err := selection.KthSmallest(m, plan, keys, req.K)

@@ -3,8 +3,20 @@ package engine
 import (
 	"sync"
 
+	"hypersort/internal/cube"
 	"hypersort/internal/machine"
 )
+
+// lease is what a request borrows from a pool: a simulated machine plus
+// the reusable per-run scratch tied to it. perNode is the Result.PerNode
+// buffer handed to machine.RunInto — it is valid in a returned Result
+// only until the next request leases the same entry, which is why
+// engine.Result documents a copy-before-hold rule for PerNode.
+type lease struct {
+	m *machine.Machine
+	// perNode is created lazily on the first request that produces one.
+	perNode map[cube.NodeID]machine.Time
+}
 
 // pool is a bounded pool of simulated machines for one configuration.
 // The first acquisition builds a template machine with machine.New (full
@@ -20,12 +32,15 @@ type pool struct {
 	// sem holds one token per machine ever created; at capacity, only
 	// the idle channel can satisfy an acquire.
 	sem chan struct{}
-	// idle buffers released machines; capacity == cap(sem), so release
+	// idle buffers released leases; capacity == cap(sem), so release
 	// never blocks.
-	idle chan *machine.Machine
+	idle chan *lease
 
 	mu       sync.Mutex
 	template *machine.Machine
+	// all records every machine the pool ever built so Close can retire
+	// their persistent workers.
+	all []*machine.Machine
 }
 
 func newPool(max int, build func(prev *machine.Machine) (*machine.Machine, error)) *pool {
@@ -35,35 +50,35 @@ func newPool(max int, build func(prev *machine.Machine) (*machine.Machine, error
 	return &pool{
 		build: build,
 		sem:   make(chan struct{}, max),
-		idle:  make(chan *machine.Machine, max),
+		idle:  make(chan *lease, max),
 	}
 }
 
-// acquire returns an idle machine, or creates one if the pool is below
-// its bound, or blocks until a machine is released.
-func (p *pool) acquire() (*machine.Machine, error) {
+// acquire returns an idle lease, or creates one if the pool is below
+// its bound, or blocks until one is released.
+func (p *pool) acquire() (*lease, error) {
 	// Prefer reuse over growth when a machine is already idle.
 	select {
-	case m := <-p.idle:
-		return m, nil
+	case l := <-p.idle:
+		return l, nil
 	default:
 	}
 	select {
-	case m := <-p.idle:
-		return m, nil
+	case l := <-p.idle:
+		return l, nil
 	case p.sem <- struct{}{}:
-		m, err := p.grow()
+		l, err := p.grow()
 		if err != nil {
 			<-p.sem
 			return nil, err
 		}
-		return m, nil
+		return l, nil
 	}
 }
 
 // grow builds one more machine: the template on first call, a clone of
 // it afterwards.
-func (p *pool) grow() (*machine.Machine, error) {
+func (p *pool) grow() (*lease, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.template == nil {
@@ -72,13 +87,29 @@ func (p *pool) grow() (*machine.Machine, error) {
 			return nil, err
 		}
 		p.template = m
-		return m, nil
+		p.all = append(p.all, m)
+		return &lease{m: m}, nil
 	}
-	return p.build(p.template)
+	m, err := p.build(p.template)
+	if err != nil {
+		return nil, err
+	}
+	p.all = append(p.all, m)
+	return &lease{m: m}, nil
 }
 
-// release returns a machine to the pool. Machines reset their own state
+// release returns a lease to the pool. Machines reset their own state
 // at the start of every Run, so no scrubbing is needed here.
-func (p *pool) release(m *machine.Machine) {
-	p.idle <- m
+func (p *pool) release(l *lease) {
+	p.idle <- l
+}
+
+// close retires the persistent workers of every machine the pool built.
+// Callers must guarantee no request is still running on them.
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.all {
+		m.Close()
+	}
 }

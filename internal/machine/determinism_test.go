@@ -1,0 +1,163 @@
+// Cross-substrate determinism harness: the tentpole proof that the
+// lock-free execution core (SPSC link rings, tree barrier, persistent
+// workers) changes only wall-clock speed, never simulated results.
+//
+// The full fault-tolerant sort runs under every substrate combination —
+// {fast paths, general-path-only} x {tree, flat} barrier — and under
+// GOMAXPROCS 1 and NumCPU, on both cold (first-Run, one-shot goroutines)
+// and warm (persistent-worker) machines. Every Result quantity that
+// virtual time defines — Makespan, Messages, KeysSent, KeyHops,
+// Comparisons, PerNode — and the sorted output must be bit-identical
+// across all of them. RecvWaits is excluded by design: it counts host
+// scheduling stalls, which legitimately vary across substrates.
+//
+// The tests mutate package-level substrate knobs and GOMAXPROCS, so
+// nothing here may run in parallel with other tests (no t.Parallel).
+package machine_test
+
+import (
+	"maps"
+	"runtime"
+	"slices"
+	"testing"
+
+	"hypersort/internal/core"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// variant is one execution-substrate configuration under test.
+type variant struct {
+	name        string
+	generalOnly bool
+	flatBarrier bool
+	procs       int
+}
+
+func substrateVariants() []variant {
+	ncpu := runtime.NumCPU()
+	vs := []variant{
+		{"fast/tree/procs=1", false, false, 1},
+		{"fast/tree/procs=n", false, false, ncpu},
+		{"general/tree/procs=n", true, false, ncpu},
+		{"fast/flat/procs=n", false, true, ncpu},
+		{"general/flat/procs=1", true, true, 1},
+	}
+	return vs
+}
+
+// withSubstrate runs fn under the variant's knobs, restoring the
+// defaults (and GOMAXPROCS) afterwards.
+func withSubstrate(v variant, fn func()) {
+	prev := runtime.GOMAXPROCS(v.procs)
+	machine.SetGeneralPathOnly(v.generalOnly)
+	machine.SetFlatBarrier(v.flatBarrier)
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		machine.SetGeneralPathOnly(false)
+		machine.SetFlatBarrier(false)
+	}()
+	fn()
+}
+
+// resultsEqual compares every virtual-time-defined Result field,
+// ignoring RecvWaits.
+func resultsEqual(a, b machine.Result) bool {
+	return a.Makespan == b.Makespan &&
+		a.Messages == b.Messages &&
+		a.KeysSent == b.KeysSent &&
+		a.KeyHops == b.KeyHops &&
+		a.Comparisons == b.Comparisons &&
+		maps.Equal(a.PerNode, b.PerNode)
+}
+
+func TestCrossSubstrateDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		dim    int
+		faults []cube.NodeID
+		model  machine.FaultModel
+		mKeys  int
+	}{
+		{"q4-fault-free", 4, nil, machine.Partial, 197},
+		{"q5-two-faults", 5, []cube.NodeID{3, 17}, machine.Partial, 430},
+		{"q5-total-model", 5, []cube.NodeID{9, 22}, machine.Total, 256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faults := cube.NewNodeSet(tc.faults...)
+			plan, err := partition.BuildPlan(tc.dim, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := workload.MustGenerate(workload.Uniform, tc.mKeys, xrand.New(7))
+
+			var refOut []sortutil.Key
+			var refRes machine.Result
+			for i, v := range substrateVariants() {
+				withSubstrate(v, func() {
+					m := machine.MustNew(machine.Config{Dim: tc.dim, Faults: faults, Model: tc.model})
+					// Two runs per machine: the first exercises the cold
+					// one-shot path, the second the persistent-worker
+					// path. Both must agree with each other and with
+					// every other variant.
+					for run := 0; run < 2; run++ {
+						out, res, err := core.FTSortOpt(m, plan, keys, core.Options{})
+						if err != nil {
+							t.Fatalf("%s run %d: %v", v.name, run, err)
+						}
+						if i == 0 && run == 0 {
+							refOut, refRes = out, res
+							return
+						}
+						if !slices.Equal(out, refOut) {
+							t.Errorf("%s run %d: sorted output diverges", v.name, run)
+						}
+						if !resultsEqual(res, refRes) {
+							t.Errorf("%s run %d: Result diverges\n got %+v\nwant %+v", v.name, run, res, refRes)
+						}
+					}
+					m.Close()
+				})
+			}
+		})
+	}
+}
+
+// TestCrossSubstrateDeterminismCollectives covers the selection path's
+// AllReduce/Scatter/Gather traffic (multi-writer fan-in at the root, the
+// general path's reason to exist) with distribution accounting on.
+func TestCrossSubstrateDeterminismCollectives(t *testing.T) {
+	faults := cube.NewNodeSet(5)
+	plan, err := partition.BuildPlan(4, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.MustGenerate(workload.Uniform, 300, xrand.New(11))
+
+	var refOut []sortutil.Key
+	var refRes machine.Result
+	for i, v := range substrateVariants() {
+		withSubstrate(v, func() {
+			m := machine.MustNew(machine.Config{Dim: 4, Faults: faults})
+			out, res, err := core.FTSortOpt(m, plan, keys, core.Options{AccountDistribution: true})
+			if err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+			if i == 0 {
+				refOut, refRes = out, res
+				return
+			}
+			if !slices.Equal(out, refOut) {
+				t.Errorf("%s: sorted output diverges", v.name)
+			}
+			if !resultsEqual(res, refRes) {
+				t.Errorf("%s: Result diverges\n got %+v\nwant %+v", v.name, res, refRes)
+			}
+		})
+	}
+}

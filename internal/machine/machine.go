@@ -33,10 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"hypersort/internal/cube"
 	"hypersort/internal/routing"
+	"hypersort/internal/sortutil"
 )
 
 // Time is virtual time in abstract cost units.
@@ -112,6 +112,10 @@ type Config struct {
 // it is not safe for concurrent Runs. Callers that need to run several
 // simulations of the same configuration at once (e.g. a request pool)
 // should give each concurrent run its own Machine via Clone.
+//
+// The first Run spawns one persistent worker goroutine per healthy node;
+// subsequent Runs reuse them. Close retires the workers (a finalizer
+// catches machines dropped without Close; see Close).
 type Machine struct {
 	h      cube.Hypercube
 	cfg    Config
@@ -124,8 +128,21 @@ type Machine struct {
 	// buffers survive across an engine pool's machines.
 	bufs *keyPool
 	// hopper is the router's allocation-free hop-count fast path, nil
-	// when the router only materializes full paths.
-	hopper routing.HopCounter
+	// when the router only materializes full paths. hamming additionally
+	// marks routers whose hop count is exactly the Hamming distance, so
+	// Send can compute it inline without the interface dispatch.
+	hopper  routing.HopCounter
+	hamming bool
+
+	// Execution substrate state, reused across Runs so the steady state
+	// allocates nothing per call.
+	stop    chan struct{} // retires the persistent workers; nil when none live
+	ranOnce bool          // a second Run upgrades to persistent workers
+	rs      runState
+	procs   []Proc
+	inGroup []bool // current run's participant set, indexed by address
+	bar     runBarrier
+	barFlat bool // which implementation bar is, so knob flips rebuild it
 }
 
 // node is the per-processor state. Each node's clock and counters are
@@ -136,6 +153,16 @@ type node struct {
 	clock  Time
 	box    *mailbox
 	faulty bool
+	work   chan runTask // persistent worker's task handoff (healthy nodes)
+
+	// cache is the node's private payload freelist, tried before the
+	// machine-wide pool. Only the node's own kernel goroutine touches it
+	// (runs hand nodes off through channels, so cross-run access is
+	// ordered), making the hot Send/Release path mutex-free: exchanges
+	// release one payload and acquire one per step, so the symmetric flow
+	// keeps this tiny stack hot. Inline array: no allocation per node.
+	cache  [4][]sortutil.Key
+	ncache int
 
 	// statistics, owned by the node's goroutine
 	msgsSent  int64
@@ -183,7 +210,7 @@ func New(cfg Config) (*Machine, error) {
 	m.nodes = make([]*node, h.Size())
 	for i := range m.nodes {
 		id := cube.NodeID(i)
-		m.nodes[i] = &node{id: id, box: newMailbox(), faulty: cfg.Faults.Has(id)}
+		m.nodes[i] = &node{id: id, box: newMailbox(h.Size()), faulty: cfg.Faults.Has(id)}
 	}
 	m.healthy = make([]cube.NodeID, 0, h.Size()-len(cfg.Faults))
 	for id := cube.NodeID(0); id < cube.NodeID(h.Size()); id++ {
@@ -193,6 +220,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.bufs = &keyPool{}
 	m.hopper, _ = m.router.(routing.HopCounter)
+	m.hamming = routing.HammingHops(m.router)
 	return m, nil
 }
 
@@ -208,11 +236,11 @@ func New(cfg Config) (*Machine, error) {
 // Clone may be called while the source machine is mid-Run: it reads only
 // immutable configuration.
 func (m *Machine) Clone() *Machine {
-	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper}
+	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper, hamming: m.hamming}
 	c.nodes = make([]*node, m.h.Size())
 	for i := range c.nodes {
 		id := cube.NodeID(i)
-		c.nodes[i] = &node{id: id, box: newMailbox(), faulty: m.cfg.Faults.Has(id)}
+		c.nodes[i] = &node{id: id, box: newMailbox(m.h.Size()), faulty: m.cfg.Faults.Has(id)}
 	}
 	return c
 }
@@ -276,7 +304,27 @@ type Result struct {
 // node of the cube; faulty or duplicate participants are rejected. Clocks,
 // counters, and mailboxes are reset at the start of each run.
 func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error) {
-	seen := make(map[cube.NodeID]bool, len(participants))
+	return m.RunInto(participants, kernel, nil)
+}
+
+// RunInto is Run with a caller-provided PerNode buffer: if perNode is
+// non-nil it is cleared, filled, and installed as Result.PerNode instead
+// of allocating a fresh map. Pooled callers (the engine) pass the buffer
+// from the previous run on the same resource; the map is theirs again
+// only once they are done with the returned Result.
+func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map[cube.NodeID]Time) (Result, error) {
+	if m.inGroup == nil {
+		m.inGroup = make([]bool, m.h.Size())
+	}
+	// inGroup doubles as the duplicate check and Proc.InGroup's set; it
+	// must be cleared on every exit path, including validation errors.
+	defer func() {
+		for _, id := range participants {
+			if m.h.Contains(id) {
+				m.inGroup[id] = false
+			}
+		}
+	}()
 	for _, id := range participants {
 		if !m.h.Contains(id) {
 			return Result{}, fmt.Errorf("machine: participant %d outside Q_%d", id, m.cfg.Dim)
@@ -284,10 +332,10 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 		if m.cfg.Faults.Has(id) {
 			return Result{}, fmt.Errorf("machine: participant %d is faulty", id)
 		}
-		if seen[id] {
+		if m.inGroup[id] {
 			return Result{}, fmt.Errorf("machine: participant %d listed twice", id)
 		}
-		seen[id] = true
+		m.inGroup[id] = true
 	}
 	for _, nd := range m.nodes {
 		nd.clock = 0
@@ -298,36 +346,52 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 			m.bufs.put(msg.keys)
 		}
 	}
-	bar := newBarrier(len(participants))
-	abortAll := func() {
-		bar.abort()
-		for _, nd := range m.nodes {
-			nd.box.abort()
-		}
+	n := len(participants)
+	m.bar = m.barrierFor(n)
+	// A machine's first run uses throwaway goroutines; persistent workers
+	// (and their teardown obligations) start paying off at the second
+	// run, so only machines that are actually reused get them. See
+	// startWorkers.
+	persistent := m.ranOnce
+	m.ranOnce = true
+	if persistent {
+		m.startWorkers()
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(participants))
-	procs := make([]*Proc, len(participants))
+	rs := &m.rs
+	rs.nodes = m.nodes
+	rs.bar = m.bar
+	rs.aborting.Store(false)
+	if cap(rs.errs) < n {
+		rs.errs = make([]error, n)
+	} else {
+		rs.errs = rs.errs[:n]
+		clear(rs.errs)
+	}
+	if cap(m.procs) < n {
+		m.procs = make([]Proc, n)
+	} else {
+		m.procs = m.procs[:n]
+	}
+	rs.wg.Add(n)
 	for i, id := range participants {
-		procs[i] = &Proc{m: m, nd: m.nodes[id], bar: bar, group: seen}
+		p := &m.procs[i]
+		*p = Proc{m: m, nd: m.nodes[id], slot: i}
+		task := runTask{kernel: kernel, proc: p, slot: i, rs: rs}
+		if persistent {
+			// The worker consumed its previous task before its wg.Done,
+			// so this buffered send never blocks.
+			m.nodes[id].work <- task
+		} else {
+			go runOneShot(task)
+		}
 	}
-	for i := range procs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = procs[i].runKernel(kernel)
-			if errs[i] != nil {
-				abortAll()
-			}
-		}(i)
-	}
-	wg.Wait()
+	rs.wg.Wait()
 
 	// Prefer reporting the root-cause failure over the ErrAborted echoes
 	// it triggered in the other participants.
 	var firstErr error
-	for _, err := range errs {
+	for _, err := range rs.errs {
 		if err == nil {
 			continue
 		}
@@ -338,7 +402,12 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
-	res := Result{PerNode: make(map[cube.NodeID]Time, len(participants))}
+	res := Result{PerNode: perNode}
+	if res.PerNode == nil {
+		res.PerNode = make(map[cube.NodeID]Time, n)
+	} else {
+		clear(res.PerNode)
+	}
 	for _, id := range participants {
 		nd := m.nodes[id]
 		if nd.clock > res.Makespan {
@@ -352,6 +421,22 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 		res.PerNode[id] = nd.clock
 	}
 	return res, nil
+}
+
+// barrierFor returns the cached barrier re-armed for a run of n
+// participants, rebuilding it when the participant count or the harness's
+// substrate knob changed since the last run.
+func (m *Machine) barrierFor(n int) runBarrier {
+	if m.bar == nil || m.bar.size() != n || m.barFlat != useFlatBarrier {
+		if useFlatBarrier {
+			m.bar = newFlatBarrier(n)
+		} else {
+			m.bar = newTreeBarrier(n)
+		}
+		m.barFlat = useFlatBarrier
+	}
+	m.bar.arm()
+	return m.bar
 }
 
 // RunAllHealthy executes kernel on every fault-free processor.

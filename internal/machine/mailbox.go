@@ -1,7 +1,9 @@
 package machine
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hypersort/internal/cube"
 	"hypersort/internal/sortutil"
@@ -16,136 +18,324 @@ type message struct {
 	keys    []sortutil.Key
 }
 
-// mailbox is an unbounded MPI-style receive queue with (source, tag)
-// matching. Sends never block; receives block until a matching message is
-// present or the run is aborted. An unbounded queue is the right choice
-// here: kernels exchange O(1) outstanding messages per peer, and a
-// bounded channel would turn an algorithmic bug into a silent deadlock
-// instead of an observable stuck queue.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	q       []message
-	aborted bool
+// Ring geometry. Every kernel in the repo keeps O(1) messages in flight
+// per peer (an Exchange has one, the half-exchange protocol two, a
+// collective one per child), so four slots cover the steady state; a full
+// ring spills to the general queue without losing ordering.
+const (
+	ringSlots = 4
+	ringMask  = ringSlots - 1
+)
+
+// spscMaxDim bounds the per-source ring index: a node of a dimension-n
+// machine carries a 2^n-entry pointer array (O(4^n) per machine), fine
+// through Q_10 and absurd beyond. Larger machines use the general path
+// only — at that scale the simulation cost dwarfs mailbox constant
+// factors anyway.
+const spscMaxDim = 10
+
+// generalPathOnly and useFlatBarrier are substrate knobs for the
+// cross-substrate determinism harness: they force the mutex general path
+// and the legacy flat barrier so tests can pin that the lock-free fast
+// paths produce bit-identical Results. Toggle only via the Set* helpers,
+// never while a machine is mid-Run.
+var generalPathOnly bool
+
+// SetGeneralPathOnly forces every message through the mutex-guarded
+// general queue, bypassing the SPSC link rings. Test-only: machines built
+// or run while the knob is flipped must not be mid-Run, and production
+// code must never call this.
+func SetGeneralPathOnly(on bool) { generalPathOnly = on }
+
+// ring is one (src, dst) link's single-producer single-consumer queue.
+// The hypercube gives the SPSC invariant structurally: a message's source
+// field is always the sending kernel's own address, and each address runs
+// exactly one kernel goroutine per machine, so the (src, dst) link has
+// one writer by construction. The consumer is dst's kernel goroutine.
+//
+// head is owned by the consumer and tail by the producer; each publishes
+// its cursor atomically so the other side observes a consistent prefix
+// (tail.Store is the release for the slot write, head.Store the release
+// for the slot clear).
+type ring struct {
+	head atomic.Uint32 // next slot the consumer pops
+	tail atomic.Uint32 // next slot the producer fills
+	// spilled is producer-owned: once the ring overflows mid-run the
+	// producer routes every later message on this link to the general
+	// queue, so the per-(src, tag) FIFO order receivers rely on survives
+	// (ring entries always predate general-queue entries from the same
+	// source). reset clears it between runs.
+	spilled bool
+	slots   [ringSlots]message
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
+// mailbox is an MPI-style receive queue with (source, tag) matching.
+// Sends never block; receives block until a matching message is present
+// or the run is aborted.
+//
+// Layout: the fast path is one bounded SPSC ring per incoming link,
+// indexed by source address, paired with a single notification channel
+// the consumer parks on. Messages popped past while scanning for a tag
+// (receivers may take tags out of order) land in the consumer-owned
+// stash. The general path — a mutex-guarded queue — catches ring
+// overflow and machines too large for per-source ring arrays. Logical
+// semantics are identical to an unbounded queue: kernels exchange O(1)
+// outstanding messages per peer, and an algorithmic bug shows up as an
+// observable stuck queue rather than a silent deadlock.
+type mailbox struct {
+	// rings[src] is the SPSC fast path for the src→here link; entries are
+	// allocated lazily by the producer on first use (the producer is the
+	// sole writer of its own index; the atomic store publishes the ring
+	// to the consumer). nil slice on machines above spscMaxDim.
+	rings []atomic.Pointer[ring]
+	// slab backs lazily created rings: one allocation sized to the
+	// typical in-degree (a node hears from about Dim distinct sources
+	// over a sort) instead of one per link, made on the first ring
+	// request so idle nodes allocate nothing. Guarded by slabMu — link
+	// creation happens once per link per machine lifetime, so the lock
+	// is cold. ringList records every ring handed out so reset touches
+	// only links that carried traffic.
+	slabMu   sync.Mutex
+	slabSize int
+	slab     []ring
+	ringList []*ring
+	// stash is consumer-owned: messages popped off a ring front while
+	// scanning for a different tag. Always older than anything still in
+	// a ring, so matching it first preserves per-(src, tag) FIFO.
+	stash []message
+	// notify is the consumer's wakeup latch. Capacity 1: producers do a
+	// non-blocking send after an enqueue when the consumer may be parked
+	// (see parked); a stale token only costs one spurious re-check.
+	notify chan struct{}
+	// parked is the Dekker flag that lets producers skip the notify
+	// channel entirely on the hot path. The consumer stores 1, then
+	// re-checks the queues before blocking; a producer publishes its
+	// message (atomic tail/slow store), then loads parked. Both sides use
+	// sequentially consistent atomics, so either the producer observes
+	// parked=1 and posts a wakeup, or the consumer's re-check observes
+	// the message — a missed wakeup would need both loads to precede both
+	// stores, which no interleaving of the total order allows.
+	parked  atomic.Int32
+	aborted atomic.Bool
+
+	// general path: spilled links, oversized machines, and the
+	// generalPathOnly harness knob. slow mirrors len(q) so the consumer
+	// can skip the lock when the queue is empty.
+	mu   sync.Mutex
+	q    []message
+	slow atomic.Int32
+}
+
+// newMailbox builds a mailbox for a machine of the given node count.
+func newMailbox(size int) *mailbox {
+	mb := &mailbox{notify: make(chan struct{}, 1)}
+	if size <= 1<<spscMaxDim {
+		mb.rings = make([]atomic.Pointer[ring], size)
+		mb.slabSize = 2
+		for s := size; s > 1; s >>= 1 {
+			mb.slabSize++ // dim + 2: the typical sort-kernel in-degree
+		}
+	}
 	return mb
 }
 
-// reset clears the queue and abort flag between runs, returning any
-// undelivered messages so the machine can recycle their payloads.
-func (mb *mailbox) reset() []message {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	left := mb.q
-	mb.q = nil
-	mb.aborted = false
-	return left
+// producerRing returns the caller's SPSC ring into this mailbox, creating
+// it on first use, or nil when the link must use the general path. Called
+// only by the producing kernel goroutine for its own source address.
+func (mb *mailbox) producerRing(src cube.NodeID) *ring {
+	if mb.rings == nil || generalPathOnly {
+		return nil
+	}
+	if r := mb.rings[src].Load(); r != nil {
+		if r.spilled {
+			return nil
+		}
+		return r
+	}
+	mb.slabMu.Lock()
+	if mb.slab == nil && len(mb.ringList) == 0 {
+		mb.slab = make([]ring, mb.slabSize)
+	}
+	var r *ring
+	if len(mb.slab) > 0 {
+		r = &mb.slab[0]
+		mb.slab = mb.slab[1:]
+	} else {
+		r = new(ring)
+	}
+	mb.ringList = append(mb.ringList, r)
+	mb.slabMu.Unlock()
+	mb.rings[src].Store(r)
+	return r
 }
 
-// put enqueues a message and wakes any waiting receiver.
+// put enqueues a message and wakes the receiver. Called by the kernel
+// goroutine whose address is m.src (the SPSC invariant).
 func (mb *mailbox) put(m message) {
+	if r := mb.producerRing(m.src); r != nil {
+		if t := r.tail.Load(); t-r.head.Load() < ringSlots {
+			r.slots[t&ringMask] = m
+			r.tail.Store(t + 1)
+			if mb.parked.Load() != 0 {
+				mb.wake()
+			}
+			return
+		}
+		r.spilled = true
+	}
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	mb.q = append(mb.q, m)
-	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	mb.slow.Add(1)
+	if mb.parked.Load() != 0 {
+		mb.wake()
+	}
 }
 
-// abort wakes all blocked receivers; their take calls return ok=false.
+// wake posts the consumer's wakeup token (non-blocking: a pending token
+// already guarantees the consumer will re-check).
+func (mb *mailbox) wake() {
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
+// abort wakes a blocked receiver; its take call returns ok=false. The
+// wakeup is posted unconditionally — aborts are rare and must never race
+// the parked-flag elision.
 func (mb *mailbox) abort() {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	mb.aborted = true
-	mb.cond.Broadcast()
+	mb.aborted.Store(true)
+	mb.wake()
 }
 
 // take removes and returns the first message matching (src, tag),
 // blocking until one arrives. waited reports whether the caller had to
-// block. ok is false if the run was aborted while waiting.
+// block. ok is false if the run was aborted while waiting. Called only by
+// the owning node's kernel goroutine.
 func (mb *mailbox) take(src cube.NodeID, tag Tag) (m message, waited, ok bool) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	spun := false
 	for {
-		if mb.aborted {
+		if mb.aborted.Load() {
 			return message{}, waited, false
 		}
-		for i := range mb.q {
-			if mb.q[i].src == src && mb.q[i].tag == tag {
-				m = mb.q[i]
-				mb.q = append(mb.q[:i], mb.q[i+1:]...)
-				return m, waited, true
-			}
+		if m, ok := mb.match(src, tag); ok {
+			return m, waited, true
 		}
 		waited = true
-		mb.cond.Wait()
+		// Adaptive wait: yield once before parking. In the dominant
+		// exchange ping-pong the partner is already runnable and sends
+		// within one scheduling round, so the re-check after Gosched
+		// usually hits — skipping the park/wake round trip (sudog queue,
+		// channel lock, goready) entirely. Only genuinely long waits
+		// (a slow peer several steps behind) fall through to the park.
+		if !spun {
+			spun = true
+			runtime.Gosched()
+			continue
+		}
+		// Announce intent to park, then re-check: see parked's comment
+		// for why this cannot miss a message.
+		mb.parked.Store(1)
+		if m, ok := mb.match(src, tag); ok {
+			mb.parked.Store(0)
+			return m, waited, true
+		}
+		if mb.aborted.Load() {
+			mb.parked.Store(0)
+			return message{}, waited, false
+		}
+		<-mb.notify
+		mb.parked.Store(0)
 	}
 }
 
-// pending returns the queue length (diagnostics).
+// match performs one non-blocking matching pass in oldest-first order per
+// source: stash (earlier pops), then the source's ring, then the general
+// queue (spilled messages are always younger than that source's ring
+// residue, which match drains to the stash before looking there).
+func (mb *mailbox) match(src cube.NodeID, tag Tag) (message, bool) {
+	for i := range mb.stash {
+		if mb.stash[i].src == src && mb.stash[i].tag == tag {
+			m := mb.stash[i]
+			mb.stash = append(mb.stash[:i], mb.stash[i+1:]...)
+			return m, true
+		}
+	}
+	if mb.rings != nil {
+		if r := mb.rings[src].Load(); r != nil {
+			h, t := r.head.Load(), r.tail.Load()
+			for ; h != t; h++ {
+				m := r.slots[h&ringMask]
+				r.slots[h&ringMask] = message{}
+				r.head.Store(h + 1)
+				if m.tag == tag {
+					return m, true
+				}
+				// Out-of-order receive: park the older message in the
+				// stash and keep scanning.
+				mb.stash = append(mb.stash, m)
+			}
+		}
+	}
+	if mb.slow.Load() > 0 {
+		mb.mu.Lock()
+		for i := range mb.q {
+			if mb.q[i].src == src && mb.q[i].tag == tag {
+				m := mb.q[i]
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				mb.mu.Unlock()
+				mb.slow.Add(-1)
+				return m, true
+			}
+		}
+		mb.mu.Unlock()
+	}
+	return message{}, false
+}
+
+// reset clears every queue and the abort flag between runs, returning any
+// undelivered messages so the machine can recycle their payloads. Called
+// with no kernel goroutines live.
+func (mb *mailbox) reset() []message {
+	var left []message
+	if len(mb.stash) > 0 {
+		left = append(left, mb.stash...)
+		clear(mb.stash)
+		mb.stash = mb.stash[:0]
+	}
+	for _, r := range mb.ringList {
+		h, t := r.head.Load(), r.tail.Load()
+		for ; h != t; h++ {
+			left = append(left, r.slots[h&ringMask])
+			r.slots[h&ringMask] = message{}
+		}
+		r.head.Store(h)
+		r.spilled = false
+	}
+	if len(mb.q) > 0 {
+		left = append(left, mb.q...)
+		clear(mb.q)
+		mb.q = mb.q[:0]
+		mb.slow.Store(0)
+	}
+	mb.aborted.Store(false)
+	mb.parked.Store(0)
+	select {
+	case <-mb.notify: // drop a stale wakeup token
+	default:
+	}
+	return left
+}
+
+// pending returns the number of queued messages (diagnostics).
 func (mb *mailbox) pending() int {
+	n := len(mb.stash)
+	for _, r := range mb.ringList {
+		n += int(r.tail.Load() - r.head.Load())
+	}
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	return len(mb.q)
-}
-
-// barrier synchronizes a fixed group of kernel goroutines and their
-// virtual clocks: every participant's clock leaves the barrier set to the
-// group maximum. The barrier itself is free in virtual time — it models
-// the logical phase structure of an SPMD algorithm, not a timed
-// collective (the algorithms under study synchronize through their data
-// messages, which are priced).
-type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	count   int
-	gen     int
-	max     Time
-	aborted bool
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// wait blocks until all n participants have called wait, then releases
-// them all with the maximum clock. ok is false if the run was aborted.
-func (b *barrier) wait(t Time) (syncTime Time, ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		return 0, false
-	}
-	if t > b.max {
-		b.max = t
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		// Last arrival: open the next generation.
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.max, true
-	}
-	for gen == b.gen && !b.aborted {
-		b.cond.Wait()
-	}
-	if b.aborted {
-		return 0, false
-	}
-	return b.max, true
-}
-
-// abort releases all waiters with ok=false and poisons future waits.
-func (b *barrier) abort() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.aborted = true
-	b.cond.Broadcast()
+	n += len(mb.q)
+	mb.mu.Unlock()
+	return n
 }

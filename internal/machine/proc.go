@@ -13,10 +13,11 @@ import (
 // inside the kernel invocation it was created for and must not be shared
 // across goroutines.
 type Proc struct {
-	m     *Machine
-	nd    *node
-	bar   *barrier
-	group map[cube.NodeID]bool
+	m  *Machine
+	nd *node
+	// slot is the participant index within the run, which is also the
+	// processor's position in the barrier's combining tree.
+	slot int
 }
 
 // procFailure carries an abort through panic so kernel code can use the
@@ -57,7 +58,9 @@ func (p *Proc) Clock() Time { return p.nd.clock }
 
 // InGroup reports whether addr participates in the current run. Kernels
 // use it to implement the paper's "skip the dead partner" rule.
-func (p *Proc) InGroup(addr cube.NodeID) bool { return p.group[addr] }
+func (p *Proc) InGroup(addr cube.NodeID) bool {
+	return int(addr) < len(p.m.inGroup) && p.m.inGroup[addr]
+}
 
 // IsFaulty reports whether addr is a faulty processor of the machine.
 func (p *Proc) IsFaulty(addr cube.NodeID) bool { return p.m.cfg.Faults.Has(addr) }
@@ -70,7 +73,9 @@ func (p *Proc) Compute(n int) {
 	}
 	p.nd.compares += int64(n)
 	p.nd.clock += Time(n) * p.m.cfg.Cost.Compare
-	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceCompute, Peer: p.nd.id, Keys: n, Time: p.nd.clock})
+	if p.m.cfg.Trace != nil {
+		p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceCompute, Peer: p.nd.id, Keys: n, Time: p.nd.clock})
+	}
 }
 
 // Elapse advances the clock by an arbitrary duration, for costs outside
@@ -96,9 +101,15 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 	if p.m.cfg.Model == Total && p.m.cfg.Faults.Has(dst) {
 		p.fail(fmt.Errorf("machine: node %d sent to totally faulty node %d", p.nd.id, dst))
 	}
-	hops, err := p.m.Hops(p.nd.id, dst)
-	if err != nil {
-		p.fail(fmt.Errorf("machine: node %d cannot reach %d: %w", p.nd.id, dst, err))
+	var hops int
+	if p.m.hamming {
+		hops = cube.HammingDistance(p.nd.id, dst)
+	} else {
+		var err error
+		hops, err = p.m.Hops(p.nd.id, dst)
+		if err != nil {
+			p.fail(fmt.Errorf("machine: node %d cannot reach %d: %w", p.nd.id, dst, err))
+		}
 	}
 	c := p.m.cfg.Cost
 	perHop := c.Startup + Time(len(keys))*c.Elem
@@ -109,13 +120,15 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 	if hops == 0 {
 		arrival = p.nd.clock
 	}
-	payload := p.m.bufs.get(len(keys))
+	payload := p.payloadGet(len(keys))
 	copy(payload, keys)
 	p.nd.msgsSent++
 	p.nd.keysSent += int64(len(keys))
 	p.nd.keyHops += int64(len(keys)) * int64(hops)
 	p.m.nodes[dst].box.put(message{src: p.nd.id, tag: tag, arrival: arrival, keys: payload})
-	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceSend, Peer: dst, Tag: tag, Keys: len(keys), Hops: hops, Time: p.nd.clock})
+	if p.m.cfg.Trace != nil {
+		p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceSend, Peer: dst, Tag: tag, Keys: len(keys), Hops: hops, Time: p.nd.clock})
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives,
@@ -136,7 +149,9 @@ func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
 	if m.arrival > p.nd.clock {
 		p.nd.clock = m.arrival
 	}
-	p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceRecv, Peer: src, Tag: tag, Keys: len(m.keys), Time: p.nd.clock})
+	if p.m.cfg.Trace != nil {
+		p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceRecv, Peer: src, Tag: tag, Keys: len(m.keys), Time: p.nd.clock})
+	}
 	return m.keys
 }
 
@@ -156,13 +171,53 @@ func (p *Proc) Exchange(peer cube.NodeID, tag Tag, keys []sortutil.Key) []sortut
 // unreleased payloads are simply garbage collected. Kernels on the hot
 // path release every payload they finish reading, which keeps a run at
 // O(1) payload allocations steady-state instead of O(messages).
-func (p *Proc) Release(buf []sortutil.Key) { p.m.bufs.put(buf) }
+func (p *Proc) Release(buf []sortutil.Key) { p.payloadPut(buf) }
+
+// payloadGet acquires a payload buffer of length n: first from the
+// node's private cache, then the machine-wide pool.
+func (p *Proc) payloadGet(n int) []sortutil.Key {
+	if n == 0 {
+		return nil
+	}
+	nd := p.nd
+	for i := nd.ncache - 1; i >= 0; i-- {
+		if b := nd.cache[i]; cap(b) >= n {
+			nd.ncache--
+			nd.cache[i] = nd.cache[nd.ncache]
+			nd.cache[nd.ncache] = nil
+			return b[:n]
+		}
+	}
+	return p.m.bufs.get(n)
+}
+
+// payloadPut releases a payload buffer into the node's private cache,
+// overflowing to the machine-wide pool. Poisoning (SetReleasePoison)
+// applies on this path too so the aliasing tests cover cached reuse.
+func (p *Proc) payloadPut(b []sortutil.Key) {
+	if cap(b) == 0 {
+		return
+	}
+	nd := p.nd
+	if nd.ncache < len(nd.cache) {
+		if poisonReleased {
+			b = b[:cap(b)]
+			for i := range b {
+				b[i] = poisonKey
+			}
+		}
+		nd.cache[nd.ncache] = b[:0]
+		nd.ncache++
+		return
+	}
+	p.m.bufs.put(b)
+}
 
 // Barrier blocks until every participant of the run reaches it, then
 // synchronizes the clock to the group maximum. It models phase structure
 // and is free in virtual time; see the barrier type for rationale.
 func (p *Proc) Barrier() {
-	t, ok := p.bar.wait(p.nd.clock)
+	t, ok := p.m.bar.wait(p.slot, p.nd.clock)
 	if !ok {
 		p.fail(ErrAborted)
 	}

@@ -122,7 +122,7 @@ func TestHopsToAndSendOutsideCube(t *testing.T) {
 }
 
 func TestMailboxPending(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(4)
 	if mb.pending() != 0 {
 		t.Error("fresh mailbox not empty")
 	}
@@ -135,6 +135,42 @@ func TestMailboxPending(t *testing.T) {
 	}
 	if mb.pending() != 0 {
 		t.Error("pending wrong after take")
+	}
+}
+
+// TestMailboxRingSpill drives one link far past the ring capacity so the
+// sticky spill path engages, then checks per-(src, tag) FIFO order and
+// stash-based out-of-order tag matching across the ring/general boundary.
+func TestMailboxRingSpill(t *testing.T) {
+	const msgs = 10 * ringSlots
+	mb := newMailbox(4)
+	for i := 0; i < msgs; i++ {
+		mb.put(message{src: 1, tag: 7, arrival: Time(i)})
+	}
+	if got := mb.pending(); got != msgs {
+		t.Fatalf("pending = %d, want %d", got, msgs)
+	}
+	for i := 0; i < msgs; i++ {
+		m, _, ok := mb.take(1, 7)
+		if !ok || m.arrival != Time(i) {
+			t.Fatalf("message %d: got arrival %d (ok=%v), want %d", i, m.arrival, ok, i)
+		}
+	}
+
+	// Distinct tags received in reverse order: every earlier message
+	// must survive the scan (via the stash) regardless of which segment
+	// (ring or spilled queue) it sits in.
+	for i := 0; i < msgs; i++ {
+		mb.put(message{src: 1, tag: Tag(i), arrival: Time(i)})
+	}
+	for i := msgs - 1; i >= 0; i-- {
+		m, _, ok := mb.take(1, Tag(i))
+		if !ok || m.arrival != Time(i) {
+			t.Fatalf("tag %d: got arrival %d (ok=%v)", i, m.arrival, ok)
+		}
+	}
+	if got := mb.pending(); got != 0 {
+		t.Fatalf("pending = %d after draining, want 0", got)
 	}
 }
 

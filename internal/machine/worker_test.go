@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hypersort/internal/cube"
+)
+
+// countKernel is a trivial kernel that touches the clock so runs are
+// observable.
+func countKernel(p *Proc) error {
+	p.Compute(1)
+	return nil
+}
+
+// waitGoroutinesBelow polls until the process goroutine count drops to
+// at most want (worker teardown is asynchronous after Close).
+func waitGoroutinesBelow(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines stuck at %d, want <= %d", runtime.NumGoroutine(), want)
+}
+
+func TestWorkersSpawnOnSecondRunAndCloseRetires(t *testing.T) {
+	m := MustNew(Config{Dim: 3})
+	all := m.Healthy()
+	base := runtime.NumGoroutine()
+
+	// First run: one-shot goroutines, no persistent pool left behind.
+	if _, err := m.Run(all, countKernel); err != nil {
+		t.Fatal(err)
+	}
+	if m.stop != nil {
+		t.Fatal("persistent workers spawned on first run")
+	}
+	waitGoroutinesBelow(t, base)
+
+	// Second run upgrades to the persistent pool: one worker per healthy
+	// node stays parked between runs.
+	if _, err := m.Run(all, countKernel); err != nil {
+		t.Fatal(err)
+	}
+	if m.stop == nil {
+		t.Fatal("second run did not spawn persistent workers")
+	}
+	if got := runtime.NumGoroutine(); got < base+len(all) {
+		t.Fatalf("goroutines = %d, want >= %d parked workers above base %d", got, len(all), base)
+	}
+
+	m.Close()
+	waitGoroutinesBelow(t, base)
+	if m.stop != nil {
+		t.Fatal("Close left stop channel live")
+	}
+}
+
+func TestCloseIdempotentAndBeforeWorkers(t *testing.T) {
+	// Close before any run, and double Close, must both be no-ops.
+	m := MustNew(Config{Dim: 2})
+	m.Close()
+	m.Close()
+	if _, err := m.Run(m.Healthy(), countKernel); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close()
+}
+
+func TestRunAfterCloseRespawns(t *testing.T) {
+	m := MustNew(Config{Dim: 3})
+	all := m.Healthy()
+	var want Result
+	for run := 0; run < 3; run++ {
+		res, err := m.Run(all, countKernel)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			want = res
+			continue
+		}
+		if res.Makespan != want.Makespan || res.Comparisons != want.Comparisons {
+			t.Fatalf("run %d diverged: %+v vs %+v", run, res, want)
+		}
+	}
+	m.Close()
+	// A closed machine still serves runs (workers respawn on demand);
+	// results stay identical.
+	for run := 0; run < 2; run++ {
+		res, err := m.Run(all, countKernel)
+		if err != nil {
+			t.Fatalf("post-Close run %d: %v", run, err)
+		}
+		if res.Makespan != want.Makespan || res.Comparisons != want.Comparisons {
+			t.Fatalf("post-Close run %d diverged: %+v vs %+v", run, res, want)
+		}
+	}
+	m.Close()
+}
+
+func TestWorkersSurviveKernelFailure(t *testing.T) {
+	// An aborted run must leave the persistent pool consistent: the next
+	// run reuses the same workers and succeeds.
+	m := MustNew(Config{Dim: 3})
+	all := m.Healthy()
+	for run := 0; run < 2; run++ { // second run is on persistent workers
+		if _, err := m.Run(all, countKernel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := m.Run(all, func(p *Proc) error {
+		if p.ID() == 5 {
+			panic("deliberate kernel failure")
+		}
+		// Everyone else blocks on a message that never comes and must be
+		// released by the abort fan-out.
+		p.Recv(cube.NodeID(5), 99)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("failing run reported no error")
+	}
+	res, err := m.Run(all, countKernel)
+	if err != nil {
+		t.Fatalf("run after abort: %v", err)
+	}
+	if res.Comparisons != int64(len(all)) {
+		t.Fatalf("run after abort: comparisons = %d, want %d", res.Comparisons, len(all))
+	}
+	m.Close()
+}

@@ -185,6 +185,16 @@ func (r ecubeRouter) Hops(src, dst cube.NodeID) (int, error) {
 	return cube.HammingDistance(src, dst), nil
 }
 
+// HammingHops reports whether the router's hop count is always exactly
+// the Hamming distance between the endpoints (true for the e-cube
+// router, whose dimension-order paths never detour). The machine's
+// message hot path uses it to compute hop counts inline instead of
+// paying an interface dispatch per send.
+func HammingHops(r Router) bool {
+	_, ok := r.(ecubeRouter)
+	return ok
+}
+
 // hopMemo caches hop counts for routers whose path search is expensive.
 // A router's fault sets are immutable, so a pair's hop count never
 // changes; the memo is shared by every machine holding the router

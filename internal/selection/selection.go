@@ -52,7 +52,9 @@ func KthSmallest(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, 
 		// Sort the local chunk once so each round's rank count is a
 		// binary search instead of a scan — this is what keeps selection
 		// cheaper than the full distributed sort.
-		sortutil.HeapSort(mine, sortutil.Ascending)
+		// Host execution is pdqsort; the virtual clock is still charged
+		// the analytic heapsort cost below, so makespans are unchanged.
+		sortutil.SortHost(mine, sortutil.Ascending)
 		p.Compute(localSortCost(len(mine)))
 
 		// Narrow the search interval to the global key range first
@@ -154,6 +156,7 @@ func TopK(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int) 
 	}
 	need := k - len(above)
 	out := append(above, ties[:need]...)
-	sortutil.HeapSort(out, sortutil.Ascending)
+	// Pure host-side post-processing: not on any simulated clock.
+	sortutil.SortHost(out, sortutil.Ascending)
 	return out, res, nil
 }

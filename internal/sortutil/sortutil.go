@@ -10,7 +10,10 @@
 // count, and dummies sort to the top of the global order.
 package sortutil
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // Key is one sortable element. The paper sorts abstract keys; int64 covers
 // the experiments and keeps compare-split allocation-free.
@@ -112,6 +115,23 @@ func dominates(a, b Key, d Direction) bool {
 		return a > b
 	}
 	return a < b
+}
+
+// SortHost sorts xs in place in the given direction at host speed using
+// the standard library's pattern-defeating quicksort. It produces exactly
+// the same slice as HeapSort (keys are totally ordered values, so the
+// sorted permutation is unique), only faster on the host. Simulation
+// kernels call this for the *execution* of a local sort while still
+// charging the paper's analytic heapsort comparison count to the virtual
+// clock — host speed and simulated cost are independent axes, and the
+// cost model follows the paper's Step 3 heapsort regardless of how the
+// host happens to produce the sorted chunk (see bitonic.LocalSort and
+// the conformance test pinning the equivalence).
+func SortHost(xs []Key, d Direction) {
+	slices.Sort(xs)
+	if d == Descending {
+		Reverse(xs)
+	}
 }
 
 // IsSorted reports whether xs is ordered in direction d (non-strictly).
@@ -220,6 +240,59 @@ func CompareSplit(mine, theirs []Key, keepLow bool) []Key {
 func CompareSplitInto(dst, mine, theirs []Key, keepLow bool) []Key {
 	k := len(mine)
 	out := dst[:0]
+	// Already-separated fast paths: when the runs do not interleave the
+	// result is a contiguous copy. Conditions are exact about ties (equal
+	// keys keep mine, as the merge loops below do), so the output is
+	// bit-identical to the general path.
+	if k > 0 {
+		if keepLow {
+			if len(theirs) == 0 || mine[k-1] <= theirs[0] {
+				return append(out, mine...)
+			}
+			if len(theirs) >= k && theirs[k-1] < mine[0] {
+				return append(out, theirs[:k]...)
+			}
+		} else {
+			if len(theirs) == 0 || mine[0] >= theirs[len(theirs)-1] {
+				return append(out, mine...)
+			}
+			if len(theirs) >= k && theirs[len(theirs)-k] > mine[k-1] {
+				return append(out, theirs[len(theirs)-k:]...)
+			}
+		}
+	}
+	// Equal-length runs (every machine kernel's case): tight indexed
+	// loops. i+j picks so far stays < k, so both indices are always in
+	// bounds without per-element limit checks.
+	if len(theirs) == k {
+		out = dst[:k]
+		if keepLow {
+			i, j := 0, 0
+			for x := 0; x < k; x++ {
+				if a, b := mine[i], theirs[j]; a <= b {
+					out[x] = a
+					i++
+				} else {
+					out[x] = b
+					j++
+				}
+			}
+			return out
+		}
+		// Keep the k largest: fill from the top walking the tails, which
+		// lands the result ascending with no reverse pass.
+		i, j := k-1, k-1
+		for x := k - 1; x >= 0; x-- {
+			if a, b := mine[i], theirs[j]; a >= b {
+				out[x] = a
+				i--
+			} else {
+				out[x] = b
+				j--
+			}
+		}
+		return out
+	}
 	if keepLow {
 		i, j := 0, 0
 		for len(out) < k {
