@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryDocs runs the full lint against the repository root, so
+// the ordinary `go test ./...` leg enforces the documentation contract:
+// package comments, exported-symbol godoc, and working Markdown links.
+func TestRepositoryDocs(t *testing.T) {
+	findings := Lint(repoRoot(t))
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestLintGoDocsCatches proves the Go checks actually fire, using a
+// synthetic package with every class of violation.
+func TestLintGoDocsCatches(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+func Exposed() {}
+
+// Wrong name leads this comment.
+type Thing struct{}
+
+const Loose = 1
+
+var Stray int
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := LintGoDocs(dir)
+	wants := []string{
+		"package bad has no package comment",
+		"exported function Exposed",
+		"exported type Thing",
+		"exported const Loose",
+		"exported var Stray",
+	}
+	for _, w := range wants {
+		if !anyContains(findings, w) {
+			t.Errorf("missing finding %q in %v", w, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+}
+
+// TestLintGoDocsAccepts proves the accepted godoc idioms stay clean:
+// name-led comments, article prefixes, grouped blocks, trailing
+// line comments on const specs, unexported receivers, test files.
+func TestLintGoDocsAccepts(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package good is documented.
+package good
+
+// Exposed does a thing.
+func Exposed() {}
+
+// A Widget holds state.
+type Widget struct{}
+
+// Tuning constants for the frobnicator.
+const (
+	Low  = 1
+	High = 2
+)
+
+const (
+	Alpha = iota // Alpha is first.
+	Beta         // Beta is second.
+)
+
+type hidden struct{}
+
+func (h hidden) Exported() {} // method on unexported type: exempt
+`
+	if err := os.WriteFile(filepath.Join(dir, "good.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tsrc := `package good
+
+func HelperForTests() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "good_test.go"), []byte(tsrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if findings := LintGoDocs(dir); len(findings) != 0 {
+		t.Errorf("clean package produced findings: %v", findings)
+	}
+}
+
+// TestLintMarkdownLinks proves relative-link checking: existing targets
+// pass (with or without anchors), missing ones are reported, and
+// external links are ignored.
+func TestLintMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "REAL.md"), []byte("# real\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `# doc
+[ok](REAL.md) and [anchored](REAL.md#real) and [ext](https://example.com/x.md)
+[broken](MISSING.md)
+`
+	if err := os.WriteFile(filepath.Join(dir, "DOC.md"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := LintMarkdownLinks(dir)
+	if len(findings) != 1 || !strings.Contains(findings[0], "MISSING.md") {
+		t.Errorf("want exactly one MISSING.md finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0], "DOC.md:3") {
+		t.Errorf("finding should carry file:line, got %v", findings)
+	}
+}
+
+// anyContains reports whether any string in list contains sub.
+func anyContains(list []string, sub string) bool {
+	for _, s := range list {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// repoRoot locates the repository root from the test's working
+// directory (cmd/docslint), verified by the presence of go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+
+	"hypersort"
+	"hypersort/internal/obs"
+	"hypersort/internal/trace"
+)
+
+// newMux assembles the service's routes. Factored out of main so the
+// conformance tests can drive the exact production handler set through
+// httptest. ring may be nil (tracing disabled): /v1/trace then returns
+// an empty trace document rather than an error, so dashboards poll it
+// safely either way.
+func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// Prometheus text-format exposition of the process-wide registry —
+	// the scrape target for Prometheus-compatible collectors. /v1/metrics
+	// below carries the same registry as JSON for humans and scripts.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"engine":   eng.Metrics(),
+			"memory":   readMemMetrics(),
+			"registry": obs.Default().Snapshot(),
+		})
+	})
+	// Chrome trace-event JSON of the most recent machine events — load
+	// the response in https://ui.perfetto.dev. ?last=N trims to the N
+	// newest events.
+	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		last := 0
+		if q := r.URL.Query().Get("last"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad last=%q: want a non-negative integer", q))
+				return
+			}
+			last = n
+		}
+		var events []hypersort.TraceEvent
+		if ring != nil {
+			events = ring.Snapshot(last)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, events)
+	})
+	// Live profiling: `go tool pprof http://host/debug/pprof/allocs` is
+	// how the zero-allocation hot path gets verified (and re-verified)
+	// against production-shaped traffic.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/v1/sort", func(w http.ResponseWriter, r *http.Request) {
+		var wreq wireRequest
+		if !readJSON(w, r, &wreq) {
+			return
+		}
+		req, err := wreq.toRequest()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, wireResult{Err: err.Error()})
+			return
+		}
+		res := eng.SortBatch([]hypersort.Request{req})[0]
+		status := http.StatusOK
+		if res.Err != nil {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, toWire(req, res))
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Requests []wireRequest `json:"requests"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		reqs := make([]hypersort.Request, len(body.Requests))
+		preErr := make([]error, len(body.Requests))
+		for i, wr := range body.Requests {
+			reqs[i], preErr[i] = wr.toRequest()
+		}
+		results := eng.SortBatch(reqs)
+		out := make([]wireResult, len(results))
+		for i, res := range results {
+			if preErr[i] != nil {
+				out[i] = wireResult{Err: preErr[i].Error()}
+				continue
+			}
+			out[i] = toWire(reqs[i], res)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	})
+	return mux
+}
+
+// wireRequest is the JSON shape of one request.
+type wireRequest struct {
+	Dim        int        `json:"dim"`
+	Faults     []int64    `json:"faults,omitempty"`
+	LinkFaults [][2]int64 `json:"link_faults,omitempty"`
+	Model      string     `json:"model,omitempty"` // "partial" (default) or "total"
+	Op         string     `json:"op,omitempty"`    // "sort" (default), "kth", "median", "topk"
+	K          int        `json:"k,omitempty"`
+	Keys       []int64    `json:"keys"`
+}
+
+// toRequest converts the wire form into a library request, rejecting
+// unknown enum strings.
+func (wr wireRequest) toRequest() (hypersort.Request, error) {
+	cfg := hypersort.Config{Dim: wr.Dim}
+	for _, f := range wr.Faults {
+		cfg.Faults = append(cfg.Faults, hypersort.NodeID(f))
+	}
+	for _, l := range wr.LinkFaults {
+		cfg.LinkFaults = append(cfg.LinkFaults, [2]hypersort.NodeID{hypersort.NodeID(l[0]), hypersort.NodeID(l[1])})
+	}
+	switch wr.Model {
+	case "", "partial":
+		cfg.Model = hypersort.Partial
+	case "total":
+		cfg.Model = hypersort.Total
+	default:
+		return hypersort.Request{}, fmt.Errorf("unknown fault model %q", wr.Model)
+	}
+	var op hypersort.Op
+	switch wr.Op {
+	case "", "sort":
+		op = hypersort.OpSort
+	case "kth":
+		op = hypersort.OpKthSmallest
+	case "median":
+		op = hypersort.OpMedian
+	case "topk":
+		op = hypersort.OpTopK
+	default:
+		return hypersort.Request{}, fmt.Errorf("unknown op %q", wr.Op)
+	}
+	keys := make([]hypersort.Key, len(wr.Keys))
+	for i, k := range wr.Keys {
+		keys[i] = hypersort.Key(k)
+	}
+	return hypersort.Request{Config: cfg, Op: op, Keys: keys, K: wr.K}, nil
+}
+
+// wireResult is the JSON shape of one outcome.
+type wireResult struct {
+	Keys  []int64         `json:"keys,omitempty"`
+	Value *int64          `json:"value,omitempty"`
+	Stats hypersort.Stats `json:"stats"`
+	Err   string          `json:"error,omitempty"`
+}
+
+// toWire converts a library result into its wire form, selecting the
+// payload field the request's op populates.
+func toWire(req hypersort.Request, res hypersort.Result) wireResult {
+	if res.Err != nil {
+		return wireResult{Err: res.Err.Error()}
+	}
+	out := wireResult{Stats: res.Stats}
+	switch req.Op {
+	case hypersort.OpKthSmallest, hypersort.OpMedian:
+		v := int64(res.Value)
+		out.Value = &v
+	default:
+		out.Keys = make([]int64, len(res.Keys))
+		for i, k := range res.Keys {
+			out.Keys[i] = int64(k)
+		}
+	}
+	return out
+}
+
+// memMetrics is the allocation-health slice of runtime.MemStats exposed
+// on /v1/metrics: enough to watch steady-state allocation rate and GC
+// pressure without scraping full pprof profiles.
+type memMetrics struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	Frees           uint64 `json:"frees"`
+	LiveObjects     uint64 `json:"live_objects"`
+	NumGC           uint32 `json:"num_gc"`
+	PauseTotalNs    uint64 `json:"gc_pause_total_ns"`
+}
+
+// readMemMetrics snapshots the runtime allocator counters.
+func readMemMetrics() memMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memMetrics{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		LiveObjects:     ms.Mallocs - ms.Frees,
+		NumGC:           ms.NumGC,
+		PauseTotalNs:    ms.PauseTotalNs,
+	}
+}
+
+// requireGet rejects non-GET methods with a JSON 405 (HEAD passes — the
+// stdlib mux serves it through the GET handler).
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return false
+	}
+	return true
+}
+
+// readJSON decodes a POST body into dst, answering malformed requests
+// with JSON error bodies and the appropriate status code.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the service's uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -5,17 +5,22 @@
 //
 // Usage:
 //
-//	serve -addr :8080 [-pool 4] [-workers 8]
+//	serve -addr :8080 [-pool 4] [-workers 8] [-trace-buf 65536] [-trace-sample 1]
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
 //
 // Endpoints:
 //
 //	POST /v1/sort    one request  {"dim":6,"faults":[3,17],"keys":[...]}
 //	POST /v1/batch   {"requests":[...]} — per-request error isolation
-//	GET  /v1/metrics engine counters (plan hits, machines built/cloned)
-//	                 plus process memory stats (heap, GC, allocation rate)
+//	GET  /metrics    Prometheus text-format exposition of every metric
+//	GET  /v1/metrics engine counters, process memory stats, and the
+//	                 metrics registry snapshot as JSON
+//	GET  /v1/trace   Chrome trace-event JSON of the most recent machine
+//	                 events (?last=N trims; load in ui.perfetto.dev)
 //	GET  /debug/pprof/  live profiling (heap, allocs, goroutine, profile)
 //	GET  /healthz
+//
+// See OBSERVABILITY.md for the full metric and trace reference.
 //
 // The -demo flag skips the network entirely and measures batch
 // throughput on synthetic traffic: the same requests served by fresh
@@ -26,12 +31,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,92 +42,45 @@ import (
 	"time"
 
 	"hypersort"
+	"hypersort/internal/trace"
 	"hypersort/internal/workload"
 	"hypersort/internal/xrand"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		pool     = flag.Int("pool", 0, "machines pooled per configuration (0 = GOMAXPROCS)")
-		workers  = flag.Int("workers", 0, "concurrent batch requests (0 = GOMAXPROCS)")
-		demo     = flag.Bool("demo", false, "run the offline batch-throughput demo and exit")
-		requests = flag.Int("requests", 256, "demo: number of requests")
-		m        = flag.Int("m", 4000, "demo: keys per request")
-		seed     = flag.Uint64("seed", 1, "demo: workload seed")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		pool        = flag.Int("pool", 0, "machines pooled per configuration (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "concurrent batch requests (0 = GOMAXPROCS)")
+		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
+		traceSample = flag.Int("trace-sample", 1, "record 1 of every N machine events")
+		demo        = flag.Bool("demo", false, "run the offline batch-throughput demo and exit")
+		requests    = flag.Int("requests", 256, "demo: number of requests")
+		m           = flag.Int("m", 4000, "demo: keys per request")
+		seed        = flag.Uint64("seed", 1, "demo: workload seed")
 	)
 	flag.Parse()
 
-	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: *pool, BatchWorkers: *workers})
+	// The ring stays attached for the process lifetime: bounded memory,
+	// one atomic claim per event, and /v1/trace exports the most recent
+	// window on demand.
+	var ring *trace.Ring
+	ecfg := hypersort.EngineConfig{PoolSize: *pool, BatchWorkers: *workers}
+	if *traceBuf > 0 {
+		ring = trace.NewRing(*traceBuf, *traceSample)
+		ecfg.Trace = ring.Record
+	}
+	eng := hypersort.NewEngine(ecfg)
 	if *demo {
 		defer eng.Close()
 		runDemo(eng, *requests, *m, *seed)
 		return
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"engine": eng.Metrics(),
-			"memory": readMemMetrics(),
-		})
-	})
-	// Live profiling: `go tool pprof http://host/debug/pprof/allocs` is
-	// how the zero-allocation hot path gets verified (and re-verified)
-	// against production-shaped traffic.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/v1/sort", func(w http.ResponseWriter, r *http.Request) {
-		var wreq wireRequest
-		if !readJSON(w, r, &wreq) {
-			return
-		}
-		req, err := wreq.toRequest()
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, wireResult{Err: err.Error()})
-			return
-		}
-		res := eng.SortBatch([]hypersort.Request{req})[0]
-		status := http.StatusOK
-		if res.Err != nil {
-			status = http.StatusUnprocessableEntity
-		}
-		writeJSON(w, status, toWire(req, res))
-	})
-	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		var body struct {
-			Requests []wireRequest `json:"requests"`
-		}
-		if !readJSON(w, r, &body) {
-			return
-		}
-		reqs := make([]hypersort.Request, len(body.Requests))
-		preErr := make([]error, len(body.Requests))
-		for i, wr := range body.Requests {
-			reqs[i], preErr[i] = wr.toRequest()
-		}
-		results := eng.SortBatch(reqs)
-		out := make([]wireResult, len(results))
-		for i, res := range results {
-			if preErr[i] != nil {
-				out[i] = wireResult{Err: preErr[i].Error()}
-				continue
-			}
-			out[i] = toWire(reqs[i], res)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": out})
-	})
-
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// requests, then retires the engine's pooled worker goroutines — the
 	// teardown half of the persistent-worker substrate.
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng, ring)}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -135,131 +91,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		}
 	}()
-	fmt.Printf("serve: listening on %s (pool=%d workers=%d)\n", *addr, *pool, *workers)
+	fmt.Printf("serve: listening on %s (pool=%d workers=%d trace-buf=%d)\n", *addr, *pool, *workers, *traceBuf)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 	eng.Close()
 	fmt.Println("serve: drained, workers retired")
-}
-
-// wireRequest is the JSON shape of one request.
-type wireRequest struct {
-	Dim        int        `json:"dim"`
-	Faults     []int64    `json:"faults,omitempty"`
-	LinkFaults [][2]int64 `json:"link_faults,omitempty"`
-	Model      string     `json:"model,omitempty"` // "partial" (default) or "total"
-	Op         string     `json:"op,omitempty"`    // "sort" (default), "kth", "median", "topk"
-	K          int        `json:"k,omitempty"`
-	Keys       []int64    `json:"keys"`
-}
-
-func (wr wireRequest) toRequest() (hypersort.Request, error) {
-	cfg := hypersort.Config{Dim: wr.Dim}
-	for _, f := range wr.Faults {
-		cfg.Faults = append(cfg.Faults, hypersort.NodeID(f))
-	}
-	for _, l := range wr.LinkFaults {
-		cfg.LinkFaults = append(cfg.LinkFaults, [2]hypersort.NodeID{hypersort.NodeID(l[0]), hypersort.NodeID(l[1])})
-	}
-	switch wr.Model {
-	case "", "partial":
-		cfg.Model = hypersort.Partial
-	case "total":
-		cfg.Model = hypersort.Total
-	default:
-		return hypersort.Request{}, fmt.Errorf("unknown fault model %q", wr.Model)
-	}
-	var op hypersort.Op
-	switch wr.Op {
-	case "", "sort":
-		op = hypersort.OpSort
-	case "kth":
-		op = hypersort.OpKthSmallest
-	case "median":
-		op = hypersort.OpMedian
-	case "topk":
-		op = hypersort.OpTopK
-	default:
-		return hypersort.Request{}, fmt.Errorf("unknown op %q", wr.Op)
-	}
-	keys := make([]hypersort.Key, len(wr.Keys))
-	for i, k := range wr.Keys {
-		keys[i] = hypersort.Key(k)
-	}
-	return hypersort.Request{Config: cfg, Op: op, Keys: keys, K: wr.K}, nil
-}
-
-// wireResult is the JSON shape of one outcome.
-type wireResult struct {
-	Keys  []int64         `json:"keys,omitempty"`
-	Value *int64          `json:"value,omitempty"`
-	Stats hypersort.Stats `json:"stats"`
-	Err   string          `json:"error,omitempty"`
-}
-
-func toWire(req hypersort.Request, res hypersort.Result) wireResult {
-	if res.Err != nil {
-		return wireResult{Err: res.Err.Error()}
-	}
-	out := wireResult{Stats: res.Stats}
-	switch req.Op {
-	case hypersort.OpKthSmallest, hypersort.OpMedian:
-		v := int64(res.Value)
-		out.Value = &v
-	default:
-		out.Keys = make([]int64, len(res.Keys))
-		for i, k := range res.Keys {
-			out.Keys[i] = int64(k)
-		}
-	}
-	return out
-}
-
-// memMetrics is the allocation-health slice of runtime.MemStats exposed
-// on /v1/metrics: enough to watch steady-state allocation rate and GC
-// pressure without scraping full pprof profiles.
-type memMetrics struct {
-	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
-	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
-	Mallocs         uint64 `json:"mallocs"`
-	Frees           uint64 `json:"frees"`
-	LiveObjects     uint64 `json:"live_objects"`
-	NumGC           uint32 `json:"num_gc"`
-	PauseTotalNs    uint64 `json:"gc_pause_total_ns"`
-}
-
-func readMemMetrics() memMetrics {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return memMetrics{
-		HeapAllocBytes:  ms.HeapAlloc,
-		TotalAllocBytes: ms.TotalAlloc,
-		Mallocs:         ms.Mallocs,
-		Frees:           ms.Frees,
-		LiveObjects:     ms.Mallocs - ms.Frees,
-		NumGC:           ms.NumGC,
-		PauseTotalNs:    ms.PauseTotalNs,
-	}
-}
-
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return false
-	}
-	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }
 
 // runDemo measures the engine's amortization win on synthetic traffic:

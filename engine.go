@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hypersort/internal/engine"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 )
 
 // EngineConfig tunes an Engine's resource bounds. The zero value selects
@@ -20,6 +22,15 @@ type EngineConfig struct {
 	// concurrently across all configurations. Values < 1 mean
 	// GOMAXPROCS.
 	BatchWorkers int
+	// Trace, if non-nil, receives every machine event (send, receive,
+	// compute) of every request the engine serves. Unlike Sorter's
+	// per-run Config.Trace — which the engine rejects — this hook is
+	// engine-wide: pooled machines share it, so events from concurrent
+	// requests interleave. It is called from many goroutines at once and
+	// must be safe for concurrent use; a bounded sampling sink (the
+	// internal ring tracer behind cmd/serve's /v1/trace) is the intended
+	// consumer. Leave nil for zero tracing overhead.
+	Trace func(TraceEvent)
 }
 
 // Engine is a concurrent, reusable front end to the fault-tolerant
@@ -40,8 +51,19 @@ type Engine struct {
 
 // NewEngine builds an engine. It performs no planning up front; plans
 // and machines materialize lazily as configurations are first used.
+//
+// Every engine registers its observability bundles in the process-wide
+// metrics registry (exposed by cmd/serve on GET /metrics): request
+// latency, plan-cache and pool counters, per-run machine aggregates, and
+// per-phase kernel breakdowns. The bundles are shared instruments — two
+// engines in one process accumulate into the same series.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{eng: engine.New(cfg.PoolSize, cfg.BatchWorkers)}
+	eng := engine.New(cfg.PoolSize, cfg.BatchWorkers)
+	eng.Instrument(obs.Default())
+	if cfg.Trace != nil {
+		eng.SetTrace(machine.TraceFunc(cfg.Trace))
+	}
+	return &Engine{eng: eng}
 }
 
 // Op selects what a batch Request computes.

@@ -1,0 +1,79 @@
+package hypersort
+
+import (
+	"testing"
+
+	"hypersort/internal/obs"
+	"hypersort/internal/trace"
+)
+
+// TestEngineWideTrace pins the engine-wide trace hook: a ring attached
+// via EngineConfig.Trace captures events from pooled machines, while
+// per-request Config.Trace stays rejected (the two mechanisms must not
+// be conflated).
+func TestEngineWideTrace(t *testing.T) {
+	ring := trace.NewRing(1024, 1)
+	eng := NewEngine(EngineConfig{PoolSize: 2, BatchWorkers: 2, Trace: ring.Record})
+	defer eng.Close()
+
+	keys := demoKeys(64, 7)
+	sorted, _, err := eng.Sort(Config{Dim: 3, Faults: []NodeID{5}}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isAscending(sorted) {
+		t.Fatal("engine sort output not ascending")
+	}
+	if ring.Seen() == 0 || ring.Len() == 0 {
+		t.Fatalf("engine-wide ring captured nothing (seen=%d)", ring.Seen())
+	}
+
+	// Per-request tracing remains a Sorter-only feature.
+	if _, _, err := eng.Sort(Config{Dim: 3, Trace: func(TraceEvent) {}}, keys); err == nil {
+		t.Fatal("per-request Config.Trace accepted by Engine")
+	}
+}
+
+// TestEngineDefaultInstrumentation pins that every engine feeds the
+// process-wide registry: serving one request must advance the request
+// counter and record a latency observation.
+func TestEngineDefaultInstrumentation(t *testing.T) {
+	em := obs.NewEngineMetrics(obs.Default()) // same shared instruments NewEngine uses
+	before := em.Requests.Value()
+	latBefore := em.Latency.Count()
+
+	eng := NewEngine(EngineConfig{PoolSize: 1, BatchWorkers: 1})
+	defer eng.Close()
+	if _, _, err := eng.Sort(Config{Dim: 2}, demoKeys(16, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := em.Requests.Value(); got != before+1 {
+		t.Errorf("requests %d -> %d, want +1", before, got)
+	}
+	if got := em.Latency.Count(); got != latBefore+1 {
+		t.Errorf("latency observations %d -> %d, want +1", latBefore, got)
+	}
+	if em.PoolInUse.Value() != 0 {
+		t.Errorf("pool in-use = %d after quiesce, want 0", em.PoolInUse.Value())
+	}
+}
+
+// demoKeys builds a deterministic unsorted key slice for facade tests.
+func demoKeys(n int, stride Key) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key((Key(i)*stride + 13) % Key(n))
+	}
+	return keys
+}
+
+// isAscending reports whether keys are sorted ascending.
+func isAscending(keys []Key) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -43,6 +43,7 @@ import (
 	"hypersort/internal/collective"
 	"hypersort/internal/cube"
 	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 	"hypersort/internal/partition"
 	"hypersort/internal/sortutil"
 	"hypersort/internal/workload"
@@ -83,6 +84,43 @@ type Options struct {
 	// the previous run on the same resource; it belongs to the returned
 	// Result until the caller is done with it.
 	PerNodeBuf map[cube.NodeID]machine.Time
+	// Phases, if non-nil, receives per-phase virtual-time and comparison
+	// breakdowns keyed by the paper's algorithm steps: each processor
+	// reports the clock and comparison deltas of its Step 3 local sort,
+	// Step 3 intra-subcube merge, every Step 7 exchange, and every Step 8
+	// re-sort (plus Step 2 scatter/gather when AccountDistribution is on).
+	// Nil disables phase accounting entirely.
+	Phases *obs.PhaseSet
+}
+
+// phaseProbe attributes a processor's clock and comparison advance to
+// algorithm phases: lap observes the delta since the previous lap (or
+// mark) under the given phase. A probe with a nil PhaseSet does nothing.
+type phaseProbe struct {
+	p     *machine.Proc
+	ps    *obs.PhaseSet
+	clock machine.Time
+	comps int64
+}
+
+// mark restarts the delta window without observing (used to exclude
+// unattributed intervals).
+func (pr *phaseProbe) mark() {
+	if pr.ps == nil {
+		return
+	}
+	pr.clock, pr.comps = pr.p.Clock(), pr.p.Comparisons()
+}
+
+// lap observes the window since the last mark/lap under phase ph and
+// restarts the window.
+func (pr *phaseProbe) lap(ph obs.Phase) {
+	if pr.ps == nil {
+		return
+	}
+	c, k := pr.p.Clock(), pr.p.Comparisons()
+	pr.ps.Observe(ph, int64(c-pr.clock), k-pr.comps)
+	pr.clock, pr.comps = c, k
 }
 
 // Collective tags live far above the bitonic context's counter so the
@@ -130,6 +168,8 @@ func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts 
 	}
 	res, err := m.RunInto(layout.Working, func(p *machine.Proc) error {
 		slot := layout.SlotOf[p.ID()]
+		pr := phaseProbe{p: p, ps: opts.Phases}
+		pr.mark()
 		// Distribute allocated the shares for this call, so each kernel
 		// owns its share outright (the caller's keys stay untouched
 		// without a defensive clone).
@@ -140,10 +180,13 @@ func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts 
 				all = shares
 			}
 			share = collective.Scatter(p, group, 0, scatterTag, all)
+			pr.lap(obs.PhaseStep2Distribute)
 		}
-		chunk := kernel(p, layout, share, opts)
+		chunk := kernel(p, layout, share, opts, &pr)
 		if opts.AccountDistribution {
+			pr.mark()
 			collected := collective.Gather(p, group, 0, gatherTag, chunk)
+			pr.lap(obs.PhaseStep2Distribute)
 			if slot == 0 {
 				copy(out, collected)
 			}
@@ -205,8 +248,10 @@ func NewLayout(plan *partition.Plan) *Layout {
 }
 
 // kernel is the SPMD program of one working processor. It returns the
-// processor's final chunk (sorted ascending).
-func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options) []sortutil.Key {
+// processor's final chunk (sorted ascending). The probe attributes the
+// processor's clock advance to the paper's steps; pass a probe with a
+// nil PhaseSet to disable.
+func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options, pr *phaseProbe) []sortutil.Key {
 	sp := l.Plan.Split
 	v := sp.V(p.ID())
 	myView := l.Views[v]
@@ -215,8 +260,13 @@ func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options) []so
 	ctx.Protocol = opts.Protocol
 
 	// Step 3: local heapsort + intra-subcube bitonic sort, ascending iff
-	// the subcube address is even.
-	ctx.SortView(myView, dirFor(cube.Bit(v, 0) == 0))
+	// the subcube address is even. (SortView unrolled so the probe can
+	// split the local sort from the intra-subcube merge.)
+	dir := dirFor(cube.Bit(v, 0) == 0)
+	ctx.LocalSort()
+	pr.lap(obs.PhaseStep3Local)
+	ctx.MergeView(myView, dir)
+	pr.lap(obs.PhaseStep3Intra)
 	if opts.StepHook != nil {
 		opts.StepHook(StepEvent{Stage: StageAfterLocalAndIntra, J: -1, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
 	}
@@ -232,6 +282,7 @@ func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options) []so
 			peer := peerView.Phys(t)
 			keepLow := mask == cube.Bit(v, j)
 			ctx.ExchangeSplit(peer, keepLow)
+			pr.lap(obs.PhaseStep7Exchange)
 			if opts.StepHook != nil {
 				opts.StepHook(StepEvent{Stage: StageAfterExchange, I: i, J: j, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
 			}
@@ -242,6 +293,7 @@ func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options) []so
 				prev = cube.Bit(v, j-1)
 			}
 			ctx.MergeView(myView, dirFor(prev == mask))
+			pr.lap(obs.PhaseStep8Resort)
 			if opts.StepHook != nil {
 				opts.StepHook(StepEvent{Stage: StageAfterResort, I: i, J: j, Node: p.ID(), V: v, T: t, Chunk: ctx.Chunk})
 			}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
+	"hypersort/internal/partition"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// TestObservabilityWiring runs the fault-tolerant sort with a machine
+// metrics bundle and a phase set attached and cross-checks the flushed
+// aggregates against the run's own Result: the bundle must mirror the
+// Result exactly, and the per-phase comparison breakdown must partition
+// the total (every comparison of the run belongs to exactly one phase).
+func TestObservabilityWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	mm := obs.NewMachineMetrics(reg)
+	ps := obs.NewPhaseSet(reg)
+
+	// Two faults force a multi-subcube plan (m >= 1), so the cross-subcube
+	// Steps 7 and 8 actually execute.
+	faults := cube.NewNodeSet(1, 6)
+	plan, err := partition.BuildPlan(3, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Dim: 3, Faults: faults, Metrics: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.MustGenerate(workload.Uniform, 7*16, xrand.New(41))
+	sorted, res, err := FTSortOpt(m, plan, keys, Options{Phases: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortutil.IsSorted(sorted, sortutil.Ascending) {
+		t.Fatal("output not sorted")
+	}
+
+	if got := mm.Runs.Value(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if got := mm.Messages.Value(); got != res.Messages {
+		t.Errorf("messages metric %d != result %d", got, res.Messages)
+	}
+	if got := mm.Comparisons.Value(); got != res.Comparisons {
+		t.Errorf("comparisons metric %d != result %d", got, res.Comparisons)
+	}
+	if got := mm.KeyHops.Value(); got != res.KeyHops {
+		t.Errorf("key hops metric %d != result %d", got, res.KeyHops)
+	}
+	if mm.Makespan.Count() != 1 {
+		t.Errorf("makespan observations = %d, want 1", mm.Makespan.Count())
+	}
+	if got := mm.Makespan.Sum(); got != int64(res.Makespan) {
+		t.Errorf("makespan metric %d != result %d", got, res.Makespan)
+	}
+
+	// The sort phases partition the run's comparisons (distribution is
+	// off, so step 2 contributes nothing).
+	var phaseComps int64
+	for _, p := range []obs.Phase{
+		obs.PhaseStep2Distribute, obs.PhaseStep3Local, obs.PhaseStep3Intra,
+		obs.PhaseStep7Exchange, obs.PhaseStep8Resort,
+	} {
+		phaseComps += ps.Comparisons(p)
+	}
+	if phaseComps != res.Comparisons {
+		t.Errorf("phase comparisons sum %d != run total %d", phaseComps, res.Comparisons)
+	}
+	for _, p := range []obs.Phase{obs.PhaseStep3Local, obs.PhaseStep7Exchange, obs.PhaseStep8Resort} {
+		if ps.Comparisons(p) == 0 {
+			t.Errorf("phase %s recorded no comparisons", p)
+		}
+	}
+
+	// A second run accumulates rather than resets.
+	if _, _, err := FTSortOpt(m, plan, keys, Options{Phases: ps}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.Runs.Value(); got != 2 {
+		t.Errorf("runs after second sort = %d, want 2", got)
+	}
+	if got := mm.Comparisons.Value(); got != 2*res.Comparisons {
+		t.Errorf("comparisons after second sort = %d, want %d", got, 2*res.Comparisons)
+	}
+}

@@ -29,11 +29,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hypersort/internal/bitonic"
 	"hypersort/internal/core"
 	"hypersort/internal/cube"
 	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 	"hypersort/internal/partition"
 	"hypersort/internal/selection"
 	"hypersort/internal/sortutil"
@@ -140,6 +142,14 @@ type Engine struct {
 	planMisses atomic.Int64
 	built      atomic.Int64
 	cloned     atomic.Int64
+
+	// Observability hooks, set before the engine serves requests (see
+	// Instrument / SetTrace): nil means off, and every consuming path
+	// guards on that nil.
+	em     *obs.EngineMetrics
+	mm     *obs.MachineMetrics
+	phases *obs.PhaseSet
+	trace  machine.TraceFunc
 }
 
 // planEntry single-flights one configuration's partition search and
@@ -197,6 +207,25 @@ func (e *Engine) Close() {
 	}
 }
 
+// Instrument registers the engine's observability bundles in r and
+// attaches them: request latency and failure accounting, plan-cache and
+// pool counters mirrored as scrapeable metrics, per-run machine
+// aggregates, and per-phase kernel breakdowns. Call it once, before the
+// engine serves requests — pooled machines capture the bundles at build
+// time and the fields are read without locks.
+func (e *Engine) Instrument(r *obs.Registry) {
+	e.em = obs.NewEngineMetrics(r)
+	e.mm = obs.NewMachineMetrics(r)
+	e.phases = obs.NewPhaseSet(r)
+}
+
+// SetTrace attaches fn as the trace hook of every machine the engine
+// builds afterwards. fn is called concurrently from all processor
+// goroutines of all pooled machines and must be safe for concurrent use
+// (a bounded ring like trace.Ring is the intended sink). Call before the
+// engine serves requests: machines already pooled keep their old hook.
+func (e *Engine) SetTrace(fn machine.TraceFunc) { e.trace = fn }
+
 // Metrics returns a snapshot of the lifetime counters.
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
@@ -249,8 +278,14 @@ func (e *Engine) plan(key partition.PlanKey, cfg Config) (*planEntry, error) {
 	e.mu.Unlock()
 	if ok {
 		e.planHits.Add(1)
+		if e.em != nil {
+			e.em.PlanHits.Inc()
+		}
 	} else {
 		e.planMisses.Add(1)
+		if e.em != nil {
+			e.em.PlanMisses.Inc()
+		}
 	}
 	entry.once.Do(func() {
 		entry.plan, entry.err = partition.BuildPlan(cfg.Dim, cube.NewNodeSet(cfg.Faults...))
@@ -270,6 +305,9 @@ func (e *Engine) poolFor(key poolKey, cfg Config) *pool {
 		p = newPool(e.poolSize, func(prev *machine.Machine) (*machine.Machine, error) {
 			if prev != nil {
 				e.cloned.Add(1)
+				if e.em != nil {
+					e.em.MachinesCloned.Inc()
+				}
 				return prev.Clone(), nil
 			}
 			links := cube.NewEdgeSet()
@@ -282,9 +320,14 @@ func (e *Engine) poolFor(key poolKey, cfg Config) *pool {
 				Model:      cfg.Model,
 				Cost:       cfg.Cost,
 				LinkFaults: links,
+				Trace:      e.trace,
+				Metrics:    e.mm,
 			})
 			if err == nil {
 				e.built.Add(1)
+				if e.em != nil {
+					e.em.MachinesBuilt.Inc()
+				}
 			}
 			return m, err
 		})
@@ -312,8 +355,25 @@ func (e *Engine) Plan(cfg Config) (*partition.Plan, error) {
 // Do executes one request synchronously and returns its result. Errors —
 // configuration, planning, or run-time — are reported in Result.Err;
 // Do never panics and never fails any request but its own.
-func (e *Engine) Do(req Request) (res Result) {
-	defer e.requests.Add(1)
+func (e *Engine) Do(req Request) Result {
+	em := e.em
+	if em == nil {
+		e.requests.Add(1)
+		return e.do(req)
+	}
+	start := time.Now()
+	res := e.do(req)
+	e.requests.Add(1)
+	em.Requests.Inc()
+	if res.Err != nil {
+		em.Failures.Inc()
+	}
+	em.Latency.Observe(time.Since(start).Nanoseconds())
+	return res
+}
+
+// do is Do's body: panic containment, planning, pooling, dispatch.
+func (e *Engine) do(req Request) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: request panicked: %v", r)}
@@ -334,7 +394,15 @@ func (e *Engine) Do(req Request) (res Result) {
 	if err != nil {
 		return Result{Err: err}
 	}
-	defer pl.release(l)
+	if e.em != nil {
+		e.em.PoolInUse.Add(1)
+	}
+	defer func() {
+		pl.release(l)
+		if e.em != nil {
+			e.em.PoolInUse.Add(-1)
+		}
+	}()
 	m := l.m
 
 	// Keys pass through uncloned: every downstream path (FTSortOpt,
@@ -350,19 +418,20 @@ func (e *Engine) Do(req Request) (res Result) {
 			// allocates it, the capture below pools it) — the aliasing
 			// rule is documented on Result.
 			PerNodeBuf: l.perNode,
+			Phases:     e.phases,
 		})
 		if r.PerNode != nil {
 			l.perNode = r.PerNode
 		}
 		return Result{Keys: out, Res: r, Err: err}
 	case OpKthSmallest:
-		v, r, err := selection.KthSmallest(m, plan, keys, req.K)
+		v, r, err := selection.KthSmallestOpt(m, plan, keys, req.K, selection.Options{Phases: e.phases})
 		return Result{Value: v, Res: r, Err: err}
 	case OpMedian:
-		v, r, err := selection.Median(m, plan, keys)
+		v, r, err := selection.MedianOpt(m, plan, keys, selection.Options{Phases: e.phases})
 		return Result{Value: v, Res: r, Err: err}
 	case OpTopK:
-		out, r, err := selection.TopK(m, plan, keys, req.K)
+		out, r, err := selection.TopKOpt(m, plan, keys, req.K, selection.Options{Phases: e.phases})
 		return Result{Keys: out, Res: r, Err: err}
 	}
 	return Result{Err: fmt.Errorf("engine: unknown op %d", int(req.Op))}

@@ -328,10 +328,16 @@ func (mb *mailbox) reset() []message {
 	return left
 }
 
-// pending returns the number of queued messages (diagnostics).
+// pending returns the number of queued messages (diagnostics and the
+// sampled queue-depth metric). Safe to call from the consumer while
+// producers are active: ringList is read under slabMu because
+// producerRing appends to it concurrently on first use of a link.
 func (mb *mailbox) pending() int {
 	n := len(mb.stash)
-	for _, r := range mb.ringList {
+	mb.slabMu.Lock()
+	rings := mb.ringList
+	mb.slabMu.Unlock()
+	for _, r := range rings {
 		n += int(r.tail.Load() - r.head.Load())
 	}
 	mb.mu.Lock()

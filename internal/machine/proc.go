@@ -56,6 +56,11 @@ func (p *Proc) Dim() int { return p.m.h.Dim() }
 // Clock returns the processor's current virtual time.
 func (p *Proc) Clock() Time { return p.nd.clock }
 
+// Comparisons returns the comparisons this processor has performed so
+// far in the current run. Kernels take deltas of it (paired with Clock)
+// to attribute work to algorithm phases.
+func (p *Proc) Comparisons() int64 { return p.nd.compares }
+
 // InGroup reports whether addr participates in the current run. Kernels
 // use it to implement the paper's "skip the dead partner" rule.
 func (p *Proc) InGroup(addr cube.NodeID) bool {
@@ -145,6 +150,11 @@ func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
 	}
 	if waited {
 		p.nd.recvWaits++
+		// Already the slow path (this receive parked); sample mailbox depth
+		// 1-in-16 per node to keep the mutex-guarded walk rare.
+		if mm := p.m.cfg.Metrics; mm != nil && p.nd.recvWaits&15 == 1 {
+			mm.QueueDepth.Observe(int64(p.nd.box.pending()))
+		}
 	}
 	if m.arrival > p.nd.clock {
 		p.nd.clock = m.arrival
@@ -221,6 +231,7 @@ func (p *Proc) Barrier() {
 	if !ok {
 		p.fail(ErrAborted)
 	}
+	p.nd.barrierWait += int64(t - p.nd.clock)
 	p.nd.clock = t
 }
 

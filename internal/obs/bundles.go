@@ -1,0 +1,109 @@
+package obs
+
+// This file defines the pre-wired metric bundles the rest of the
+// repository consumes: plain structs of registered instruments, so call
+// sites hold direct pointers (no name lookups anywhere near a hot path)
+// and a nil bundle pointer disables a whole subsystem's instrumentation
+// with one branch.
+
+// MachineMetrics is the simulated machine's bundle. The machine mutates
+// nothing per message — per-node counters it already keeps are flushed
+// into these counters once per Run, so the per-event hot path (Send,
+// Recv, Compute) is untouched. The one exception is QueueDepth, sampled
+// on the blocked-receive path only (a receive that found its message
+// queued never samples).
+type MachineMetrics struct {
+	// Runs counts completed machine runs (kernel executions).
+	Runs *Counter
+	// Messages, KeysSent, and KeyHops aggregate the communication
+	// counters of machine.Result over all runs.
+	Messages *Counter
+	KeysSent *Counter
+	KeyHops  *Counter
+	// Comparisons aggregates key comparisons over all runs.
+	Comparisons *Counter
+	// RecvWaits counts receives that blocked waiting for their message.
+	RecvWaits *Counter
+	// BarrierVTime accumulates the virtual time barriers absorbed: the
+	// gap between each processor's clock at arrival and the group maximum
+	// it synchronized to. Large values mean load imbalance.
+	BarrierVTime *Counter
+	// Makespan is the distribution of per-run simulated completion times.
+	Makespan *Histogram
+	// QueueDepth is the distribution of mailbox depths observed by
+	// blocked receivers (sampled 1-in-16 per node to bound the cost of
+	// walking the mailbox). Sustained large depths indicate link
+	// congestion — a peer is producing faster than its partner consumes.
+	QueueDepth *Histogram
+}
+
+// NewMachineMetrics registers the machine bundle in r. Idempotent: the
+// instruments are shared across repeated calls on one registry.
+func NewMachineMetrics(r *Registry) *MachineMetrics {
+	return &MachineMetrics{
+		Runs: r.Counter("hypersort_machine_runs_total",
+			"Completed simulated machine runs (one SPMD kernel execution each)."),
+		Messages: r.Counter("hypersort_machine_messages_total",
+			"Point-to-point messages sent across all runs."),
+		KeysSent: r.Counter("hypersort_machine_keys_sent_total",
+			"Keys carried by all messages across all runs."),
+		KeyHops: r.Counter("hypersort_machine_key_hops_total",
+			"Key*link traffic across all runs (each key counted once per hop travelled)."),
+		Comparisons: r.Counter("hypersort_machine_comparisons_total",
+			"Key comparisons performed across all runs."),
+		RecvWaits: r.Counter("hypersort_machine_recv_waits_total",
+			"Receives that blocked because no matching message was queued."),
+		BarrierVTime: r.Counter("hypersort_machine_barrier_vtime_total",
+			"Virtual time absorbed by barriers (sum over processors of group-max clock minus own clock), in cost-model units."),
+		Makespan: r.Histogram("hypersort_machine_makespan",
+			"Per-run simulated completion time, in cost-model units."),
+		QueueDepth: r.Histogram("hypersort_machine_queue_depth",
+			"Mailbox depth observed by blocked receivers (sampled 1-in-16 per node); messages."),
+	}
+}
+
+// EngineMetrics is the request engine's bundle, recorded once per request
+// — always on, because a request costs milliseconds and these cost
+// nanoseconds.
+type EngineMetrics struct {
+	// Requests counts completed requests; Failures the subset that
+	// returned an error.
+	Requests *Counter
+	Failures *Counter
+	// PlanHits / PlanMisses count plan-cache lookups (a miss runs the
+	// cutting-dimension search once; cached failures count as hits).
+	PlanHits   *Counter
+	PlanMisses *Counter
+	// MachinesBuilt / MachinesCloned count full constructions versus
+	// pool-clone fast paths.
+	MachinesBuilt  *Counter
+	MachinesCloned *Counter
+	// Latency is the wall-clock request latency distribution in
+	// nanoseconds, measured inside Engine.Do (queueing for a pooled
+	// machine included, HTTP overhead excluded).
+	Latency *Histogram
+	// PoolInUse gauges machines currently leased to in-flight requests.
+	PoolInUse *Gauge
+}
+
+// NewEngineMetrics registers the engine bundle in r. Idempotent.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	return &EngineMetrics{
+		Requests: r.Counter("hypersort_engine_requests_total",
+			"Completed engine requests, including failed ones."),
+		Failures: r.Counter("hypersort_engine_failures_total",
+			"Engine requests that returned an error."),
+		PlanHits: r.Counter("hypersort_engine_plan_hits_total",
+			"Plan-cache lookups that found an entry (cached failures included)."),
+		PlanMisses: r.Counter("hypersort_engine_plan_misses_total",
+			"Plan-cache lookups that ran the partition search."),
+		MachinesBuilt: r.Counter("hypersort_engine_machines_built_total",
+			"Full machine constructions (one template per pool)."),
+		MachinesCloned: r.Counter("hypersort_engine_machines_cloned_total",
+			"Clone fast-path machine constructions (pool growth)."),
+		Latency: r.Histogram("hypersort_engine_request_latency_ns",
+			"Wall-clock request latency in nanoseconds, including machine-pool queueing."),
+		PoolInUse: r.Gauge("hypersort_engine_pool_in_use",
+			"Simulated machines currently leased to in-flight requests."),
+	}
+}

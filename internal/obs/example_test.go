@@ -1,0 +1,93 @@
+package obs_test
+
+import (
+	"os"
+
+	"hypersort/internal/obs"
+)
+
+// Example registers the three instrument kinds, records some activity,
+// and renders the registry in Prometheus text format — the same bytes
+// cmd/serve returns from GET /metrics.
+func Example() {
+	r := obs.NewRegistry()
+
+	requests := r.Counter("example_requests_total",
+		"Requests handled since process start.")
+	inFlight := r.Gauge("example_in_flight",
+		"Requests currently being handled.")
+	latency := r.Histogram("example_latency_ns",
+		"Request latency in nanoseconds.")
+
+	for _, ns := range []int64{700, 1100, 90} {
+		inFlight.Add(1)
+		requests.Inc()
+		latency.Observe(ns)
+		inFlight.Add(-1)
+	}
+
+	r.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP example_in_flight Requests currently being handled.
+	// # TYPE example_in_flight gauge
+	// example_in_flight 0
+	// # HELP example_latency_ns Request latency in nanoseconds.
+	// # TYPE example_latency_ns histogram
+	// example_latency_ns_bucket{le="128"} 1
+	// example_latency_ns_bucket{le="1024"} 2
+	// example_latency_ns_bucket{le="2048"} 3
+	// example_latency_ns_bucket{le="+Inf"} 3
+	// example_latency_ns_sum 1890
+	// example_latency_ns_count 3
+	// # HELP example_requests_total Requests handled since process start.
+	// # TYPE example_requests_total counter
+	// example_requests_total 3
+}
+
+// ExamplePhaseSet shows per-phase accounting as the sort kernels use it:
+// each processor reports (virtual time, comparisons) intervals keyed by
+// the paper's algorithm steps.
+func ExamplePhaseSet() {
+	r := obs.NewRegistry()
+	ps := obs.NewPhaseSet(r)
+
+	// One processor spent 40 virtual-time units and 17 comparisons in the
+	// Step 3 local sort, then 12 units and 5 comparisons in the Step 7
+	// cross-subcube exchange.
+	ps.Observe(obs.PhaseStep3Local, 40, 17)
+	ps.Observe(obs.PhaseStep7Exchange, 12, 5)
+
+	// A nil PhaseSet is a safe no-op — kernels pass it through unguarded.
+	var off *obs.PhaseSet
+	off.Observe(obs.PhaseStep3Local, 1, 1)
+
+	r.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP hypersort_phase_comparisons_total Key comparisons per algorithm phase, summed over processors.
+	// # TYPE hypersort_phase_comparisons_total counter
+	// hypersort_phase_comparisons_total{phase="selection_local_sort"} 0
+	// hypersort_phase_comparisons_total{phase="selection_reduce"} 0
+	// hypersort_phase_comparisons_total{phase="step2_distribute"} 0
+	// hypersort_phase_comparisons_total{phase="step3_intra_merge"} 0
+	// hypersort_phase_comparisons_total{phase="step3_local_sort"} 17
+	// hypersort_phase_comparisons_total{phase="step7_exchange"} 5
+	// hypersort_phase_comparisons_total{phase="step8_resort"} 0
+	// # HELP hypersort_phase_steps_total Instrumented intervals per algorithm phase (one per processor per step).
+	// # TYPE hypersort_phase_steps_total counter
+	// hypersort_phase_steps_total{phase="selection_local_sort"} 0
+	// hypersort_phase_steps_total{phase="selection_reduce"} 0
+	// hypersort_phase_steps_total{phase="step2_distribute"} 0
+	// hypersort_phase_steps_total{phase="step3_intra_merge"} 0
+	// hypersort_phase_steps_total{phase="step3_local_sort"} 1
+	// hypersort_phase_steps_total{phase="step7_exchange"} 1
+	// hypersort_phase_steps_total{phase="step8_resort"} 0
+	// # HELP hypersort_phase_vtime_total Virtual time spent per algorithm phase, in cost-model units, summed over processors.
+	// # TYPE hypersort_phase_vtime_total counter
+	// hypersort_phase_vtime_total{phase="selection_local_sort"} 0
+	// hypersort_phase_vtime_total{phase="selection_reduce"} 0
+	// hypersort_phase_vtime_total{phase="step2_distribute"} 0
+	// hypersort_phase_vtime_total{phase="step3_intra_merge"} 0
+	// hypersort_phase_vtime_total{phase="step3_local_sort"} 40
+	// hypersort_phase_vtime_total{phase="step7_exchange"} 12
+	// hypersort_phase_vtime_total{phase="step8_resort"} 0
+}

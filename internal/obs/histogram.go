@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of histogram buckets: bucket 0 for
+// observations <= 1, then one per power of two. Bucket i (i >= 1) covers
+// (2^(i-1), 2^i]; the last bucket also absorbs everything larger, so no
+// observation is ever dropped.
+const histBuckets = 64
+
+// Histogram is a fixed log-scale (power-of-two bucket) histogram of
+// non-negative int64 observations. The geometry is chosen for the
+// quantities this repository measures — virtual-time durations, request
+// latencies in nanoseconds, queue depths — whose interesting structure
+// spans orders of magnitude: the log buckets resolve any such range to
+// within a factor of two with no configuration and no allocation.
+//
+// Observe is three atomic adds; the zero value is ready to use. Negative
+// observations are clamped to zero (virtual clocks never run backwards; a
+// negative latency is a caller bug, and a histogram is the wrong place to
+// crash on it).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex returns the bucket index for observation v: 0 for v <= 1,
+// otherwise ceil(log2 v) (so bucket i covers (2^(i-1), 2^i]). Values
+// above the last bound land in the final bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(v) - 1) // ceil(log2 v): 2^i maps to bucket i
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// bucketRow is one non-empty bucket in a snapshot: its inclusive upper
+// bound and its own (non-cumulative) count.
+type bucketRow struct {
+	le    int64
+	count int64
+}
+
+// snapshot reads the histogram's state: total count, sum, and the
+// non-empty buckets in ascending bound order. The read is not atomic
+// across buckets — a scrape racing observations may be off by in-flight
+// increments, which is the standard (and harmless) histogram contract.
+func (h *Histogram) snapshot() (count, sum int64, rows []bucketRow) {
+	count = h.count.Load()
+	sum = h.sum.Load()
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			rows = append(rows, bucketRow{le: boundOf(i), count: c})
+		}
+	}
+	return count, sum, rows
+}
+
+// boundOf returns bucket i's inclusive upper bound, 2^i (bucket 0's
+// bound is 2^0 = 1; negatives are clamped into it by Observe).
+func boundOf(i int) int64 {
+	return int64(1) << uint(i)
+}
+
+// writePrometheus renders the histogram as the conventional trio:
+// cumulative _bucket{le="..."} series (only non-empty bounds plus +Inf),
+// _sum, and _count.
+func (h *Histogram) writePrometheus(w io.Writer, name string, label [2]string) {
+	count, sum, rows := h.snapshot()
+	extra := ""
+	if label[0] != "" {
+		extra = fmt.Sprintf("%s=%q,", label[0], label[1])
+	}
+	cum := int64(0)
+	for _, row := range rows {
+		cum += row.count
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, extra, row.le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, count)
+	if label[0] != "" {
+		fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", name, label[0], label[1], sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label[0], label[1], count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}

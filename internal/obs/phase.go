@@ -1,0 +1,115 @@
+package obs
+
+// Phase identifies one stage of the paper's algorithms for per-phase
+// breakdowns. The Step numbers refer to the fault-tolerant sort of the
+// paper's §3 (Steps 1-8); the selection phases cover the companion
+// k-selection algorithm (internal/selection).
+type Phase int
+
+// Algorithm phases, in execution order.
+const (
+	// PhaseStep2Distribute is the host scatter/gather of keys (Step 2 and
+	// the final collection), accounted only when
+	// core.Options.AccountDistribution is on.
+	PhaseStep2Distribute Phase = iota
+	// PhaseStep3Local is each processor's local heapsort at the start of
+	// Step 3.
+	PhaseStep3Local
+	// PhaseStep3Intra is the intra-subcube bitonic merge network
+	// completing Step 3.
+	PhaseStep3Intra
+	// PhaseStep7Exchange is the cross-subcube compare-split of Step 7.
+	PhaseStep7Exchange
+	// PhaseStep8Resort is the full subcube re-sort of Step 8.
+	PhaseStep8Resort
+	// PhaseSelLocalSort is selection's local pre-sort of each chunk.
+	PhaseSelLocalSort
+	// PhaseSelReduce is selection's AllReduce rank-count rounds.
+	PhaseSelReduce
+	numPhases
+)
+
+// String returns the phase's metric label.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStep2Distribute:
+		return "step2_distribute"
+	case PhaseStep3Local:
+		return "step3_local_sort"
+	case PhaseStep3Intra:
+		return "step3_intra_merge"
+	case PhaseStep7Exchange:
+		return "step7_exchange"
+	case PhaseStep8Resort:
+		return "step8_resort"
+	case PhaseSelLocalSort:
+		return "selection_local_sort"
+	case PhaseSelReduce:
+		return "selection_reduce"
+	}
+	return "unknown"
+}
+
+// phaseCells is one phase's counter trio.
+type phaseCells struct {
+	vtime    *Counter
+	compares *Counter
+	count    *Counter
+}
+
+// PhaseSet accumulates per-phase virtual time and comparison counts for
+// the kernels. One PhaseSet is shared by every processor goroutine of
+// every run feeding it (Observe is two-to-three atomic adds), so a
+// process needs exactly one, registered against a registry. A nil
+// *PhaseSet disables phase accounting at every call site.
+//
+// The backing metric families are:
+//
+//	hypersort_phase_vtime_total{phase="..."}        virtual-time units
+//	hypersort_phase_comparisons_total{phase="..."}  key comparisons
+//	hypersort_phase_steps_total{phase="..."}        instrumented intervals
+type PhaseSet struct {
+	cells [numPhases]phaseCells
+}
+
+// NewPhaseSet registers the phase counter families in r and returns the
+// set. Registration is idempotent: two NewPhaseSet calls on one registry
+// share the same counters.
+func NewPhaseSet(r *Registry) *PhaseSet {
+	ps := &PhaseSet{}
+	for p := Phase(0); p < numPhases; p++ {
+		label := p.String()
+		ps.cells[p] = phaseCells{
+			vtime: r.LabeledCounter("hypersort_phase_vtime_total",
+				"Virtual time spent per algorithm phase, in cost-model units, summed over processors.",
+				"phase", label),
+			compares: r.LabeledCounter("hypersort_phase_comparisons_total",
+				"Key comparisons per algorithm phase, summed over processors.",
+				"phase", label),
+			count: r.LabeledCounter("hypersort_phase_steps_total",
+				"Instrumented intervals per algorithm phase (one per processor per step).",
+				"phase", label),
+		}
+	}
+	return ps
+}
+
+// Observe records one processor's interval in phase p: vtime cost-model
+// units elapsed and comparisons performed. Safe for concurrent use; nil
+// receivers are a no-op so call sites can pass an unconfigured set
+// through without guarding.
+func (ps *PhaseSet) Observe(p Phase, vtime, comparisons int64) {
+	if ps == nil || p < 0 || p >= numPhases {
+		return
+	}
+	c := &ps.cells[p]
+	c.vtime.Add(vtime)
+	c.compares.Add(comparisons)
+	c.count.Inc()
+}
+
+// VTime returns the accumulated virtual time of phase p (test hook).
+func (ps *PhaseSet) VTime(p Phase) int64 { return ps.cells[p].vtime.Value() }
+
+// Comparisons returns the accumulated comparisons of phase p (test hook).
+func (ps *PhaseSet) Comparisons(p Phase) int64 { return ps.cells[p].compares.Value() }

@@ -12,6 +12,7 @@ type ErrNoPathLinks struct {
 	Src, Dst cube.NodeID
 }
 
+// Error implements the error interface.
 func (e ErrNoPathLinks) Error() string {
 	return fmt.Sprintf("routing: no path from %d to %d avoiding faulty links", e.Src, e.Dst)
 }

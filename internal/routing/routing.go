@@ -84,6 +84,7 @@ type ErrNoPath struct {
 	Src, Dst cube.NodeID
 }
 
+// Error implements the error interface.
 func (e ErrNoPath) Error() string {
 	return fmt.Sprintf("routing: no fault-free path from %d to %d", e.Src, e.Dst)
 }

@@ -21,16 +21,31 @@ import (
 	"hypersort/internal/collective"
 	"hypersort/internal/core"
 	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 	"hypersort/internal/partition"
 	"hypersort/internal/sortutil"
 	"hypersort/internal/workload"
 )
+
+// Options tunes the selection algorithms.
+type Options struct {
+	// Phases, if non-nil, receives per-phase virtual-time and comparison
+	// breakdowns: each processor reports its local pre-sort
+	// (PhaseSelLocalSort) and the AllReduce binary-search rounds
+	// (PhaseSelReduce) separately. Nil disables phase accounting.
+	Phases *obs.PhaseSet
+}
 
 // KthSmallest distributes keys over the plan's working processors and
 // returns the k-th smallest key (1-based), computed by distributed
 // binary search with AllReduce rank counts. It returns the simulated run
 // cost alongside. k must be in [1, len(keys)].
 func KthSmallest(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int) (sortutil.Key, machine.Result, error) {
+	return KthSmallestOpt(m, plan, keys, k, Options{})
+}
+
+// KthSmallestOpt is KthSmallest with explicit options.
+func KthSmallestOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int, opts Options) (sortutil.Key, machine.Result, error) {
 	if k < 1 || k > len(keys) {
 		return 0, machine.Result{}, fmt.Errorf("selection: rank %d outside [1, %d]", k, len(keys))
 	}
@@ -56,6 +71,8 @@ func KthSmallest(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, 
 		// the analytic heapsort cost below, so makespans are unchanged.
 		sortutil.SortHost(mine, sortutil.Ascending)
 		p.Compute(localSortCost(len(mine)))
+		opts.Phases.Observe(obs.PhaseSelLocalSort, int64(p.Clock()), p.Comparisons())
+		reduceClock, reduceComps := p.Clock(), p.Comparisons()
 
 		// Narrow the search interval to the global key range first
 		// (uniform 40-bit keys would otherwise waste ~24 rounds walking
@@ -89,6 +106,8 @@ func KthSmallest(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, 
 			}
 		}
 		results[slot] = sortutil.Key(lo)
+		opts.Phases.Observe(obs.PhaseSelReduce,
+			int64(p.Clock()-reduceClock), p.Comparisons()-reduceComps)
 		return nil
 	})
 	if err != nil {
@@ -121,10 +140,15 @@ func ceilLog2(k int) int {
 // Median returns the lower median (rank ceil(n/2)) of keys on the faulty
 // machine.
 func Median(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key) (sortutil.Key, machine.Result, error) {
+	return MedianOpt(m, plan, keys, Options{})
+}
+
+// MedianOpt is Median with explicit options.
+func MedianOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, opts Options) (sortutil.Key, machine.Result, error) {
 	if len(keys) == 0 {
 		return 0, machine.Result{}, fmt.Errorf("selection: median of no keys")
 	}
-	return KthSmallest(m, plan, keys, (len(keys)+1)/2)
+	return KthSmallestOpt(m, plan, keys, (len(keys)+1)/2, opts)
 }
 
 // TopK returns the k largest keys in ascending order. It resolves the
@@ -132,13 +156,18 @@ func Median(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key) (sort
 // — a second pass over local data plus one gather, still far below a
 // full sort for small k.
 func TopK(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int) ([]sortutil.Key, machine.Result, error) {
+	return TopKOpt(m, plan, keys, k, Options{})
+}
+
+// TopKOpt is TopK with explicit options.
+func TopKOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, k int, opts Options) ([]sortutil.Key, machine.Result, error) {
 	if k < 0 || k > len(keys) {
 		return nil, machine.Result{}, fmt.Errorf("selection: top-%d outside [0, %d]", k, len(keys))
 	}
 	if k == 0 {
 		return nil, machine.Result{}, nil
 	}
-	threshold, res, err := KthSmallest(m, plan, keys, len(keys)-k+1)
+	threshold, res, err := KthSmallestOpt(m, plan, keys, len(keys)-k+1, opts)
 	if err != nil {
 		return nil, machine.Result{}, err
 	}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hypersort/internal/machine"
+)
+
+// Ring is a bounded, concurrency-safe trace sink meant to stay attached
+// to a production engine permanently: it keeps the most recent events in
+// a fixed ring buffer and optionally samples (records one of every k
+// offered events), so memory and overhead are constant no matter how
+// long the process runs or how hot the machines get.
+//
+// The write path is one atomic increment to claim a slot plus a per-slot
+// mutex for the copy; older events are overwritten in FIFO order. Pass
+// Record as machine.Config.Trace (or through the public engine trace
+// hook) exactly like a Recorder.
+type Ring struct {
+	mask   uint64
+	sample uint64
+	slots  []ringSlot
+
+	seen atomic.Uint64 // events offered to Record
+	seq  atomic.Uint64 // events accepted (claims slots, 1-based)
+}
+
+// ringSlot is one ring entry. The mutex makes the (seq, ev) pair
+// atomic with respect to readers; writers of different slots never
+// contend.
+type ringSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 1-based acceptance sequence; 0 = never written
+	ev  machine.TraceEvent
+}
+
+// NewRing returns a ring holding the last capacity events (rounded up to
+// a power of two, minimum 16), recording one of every sampleEvery events
+// offered (values < 1 mean record everything).
+func NewRing(capacity, sampleEvery int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Ring{
+		mask:   uint64(n - 1),
+		sample: uint64(sampleEvery),
+		slots:  make([]ringSlot, n),
+	}
+}
+
+// Record offers one event to the ring; it keeps every sample-th one.
+// Safe for concurrent use; assignable to machine.Config.Trace.
+func (r *Ring) Record(ev machine.TraceEvent) {
+	if n := r.seen.Add(1); r.sample > 1 && (n-1)%r.sample != 0 {
+		return
+	}
+	s := r.seq.Add(1)
+	slot := &r.slots[(s-1)&r.mask]
+	slot.mu.Lock()
+	slot.seq = s
+	slot.ev = ev
+	slot.mu.Unlock()
+}
+
+// Seen returns the number of events offered to the ring (before
+// sampling).
+func (r *Ring) Seen() uint64 { return r.seen.Load() }
+
+// Recorded returns the number of events accepted into the ring
+// (after sampling, including ones since overwritten).
+func (r *Ring) Recorded() uint64 { return r.seq.Load() }
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	held := r.seq.Load()
+	if held > uint64(len(r.slots)) {
+		held = uint64(len(r.slots))
+	}
+	return int(held)
+}
+
+// Snapshot returns up to last of the most recent events in acceptance
+// order (oldest first); last <= 0 means everything held. The snapshot is
+// consistent per event but not across events — writers racing the
+// snapshot may overwrite the oldest entries, which are then simply
+// omitted. Acceptance order makes repeated exports of a quiescent ring
+// byte-identical.
+func (r *Ring) Snapshot(last int) []machine.TraceEvent {
+	hi := r.seq.Load()
+	if hi == 0 {
+		return nil
+	}
+	lo := uint64(1)
+	if hi > uint64(len(r.slots)) {
+		lo = hi - uint64(len(r.slots)) + 1
+	}
+	if last > 0 && hi-lo+1 > uint64(last) {
+		lo = hi - uint64(last) + 1
+	}
+	type seqEv struct {
+		seq uint64
+		ev  machine.TraceEvent
+	}
+	got := make([]seqEv, 0, hi-lo+1)
+	for i := range r.slots {
+		slot := &r.slots[i]
+		slot.mu.Lock()
+		s, ev := slot.seq, slot.ev
+		slot.mu.Unlock()
+		// Accept slots still inside the requested window; concurrent
+		// writers may have pushed a slot past hi — those are newer events
+		// than the snapshot asked for, so they are dropped too.
+		if s >= lo && s <= hi {
+			got = append(got, seqEv{s, ev})
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
+	out := make([]machine.TraceEvent, len(got))
+	for i, se := range got {
+		out[i] = se.ev
+	}
+	return out
+}
+
+// Reset empties the ring and restarts the sampling phase.
+func (r *Ring) Reset() {
+	for i := range r.slots {
+		slot := &r.slots[i]
+		slot.mu.Lock()
+		slot.seq = 0
+		slot.ev = machine.TraceEvent{}
+		slot.mu.Unlock()
+	}
+	r.seen.Store(0)
+	r.seq.Store(0)
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+)
+
+// evAt builds a distinguishable compute event for ring tests: Keys
+// carries the writer's payload, Time its sequence position.
+func evAt(node, payload int) machine.TraceEvent {
+	return machine.TraceEvent{
+		Node: cube.NodeID(node),
+		Kind: machine.TraceCompute,
+		Keys: payload,
+		Time: machine.Time(payload),
+	}
+}
+
+// TestRingWraparound fills a ring past capacity and checks that exactly
+// the newest events survive, oldest first.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(16, 1)
+	const total = 100
+	for i := 1; i <= total; i++ {
+		r.Record(evAt(0, i))
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+	if r.Seen() != total || r.Recorded() != total {
+		t.Fatalf("Seen/Recorded = %d/%d, want %d", r.Seen(), r.Recorded(), total)
+	}
+	got := r.Snapshot(0)
+	if len(got) != 16 {
+		t.Fatalf("snapshot has %d events, want 16", len(got))
+	}
+	for i, ev := range got {
+		if want := total - 16 + 1 + i; ev.Keys != want {
+			t.Fatalf("snapshot[%d].Keys = %d, want %d", i, ev.Keys, want)
+		}
+	}
+	// last=N trims from the old end.
+	tail := r.Snapshot(4)
+	if len(tail) != 4 || tail[0].Keys != total-3 || tail[3].Keys != total {
+		t.Fatalf("Snapshot(4) = %v", tail)
+	}
+}
+
+// TestRingCapacityRounding pins the power-of-two rounding and the
+// minimum size.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 16}, {1, 16}, {16, 16}, {17, 32}, {1000, 1024}} {
+		r := NewRing(c.ask, 1)
+		if len(r.slots) != c.want {
+			t.Errorf("NewRing(%d) capacity %d, want %d", c.ask, len(r.slots), c.want)
+		}
+	}
+}
+
+// TestRingSampling checks the 1-in-k sampling arithmetic.
+func TestRingSampling(t *testing.T) {
+	r := NewRing(64, 4)
+	for i := 1; i <= 40; i++ {
+		r.Record(evAt(0, i))
+	}
+	if r.Seen() != 40 {
+		t.Fatalf("Seen = %d, want 40", r.Seen())
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10 (1 in 4)", r.Recorded())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 10 {
+		t.Fatalf("snapshot has %d events, want 10", len(got))
+	}
+	// Every 4th offered event is kept, starting with the first.
+	for i, ev := range got {
+		if want := 1 + 4*i; ev.Keys != want {
+			t.Fatalf("snapshot[%d].Keys = %d, want %d", i, ev.Keys, want)
+		}
+	}
+}
+
+// TestRingConcurrentWriters hammers one ring from many goroutines under
+// the race detector and checks the ring's invariants afterwards: exact
+// acceptance count, full buffer, and a strictly consistent snapshot.
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(128, 1)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(evAt(w, i))
+				if i%100 == 0 {
+					r.Snapshot(16) // readers race writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Recorded() != workers*each {
+		t.Fatalf("Recorded = %d, want %d", r.Recorded(), workers*each)
+	}
+	if got := len(r.Snapshot(0)); got != 128 {
+		t.Fatalf("final snapshot has %d events, want 128", got)
+	}
+}
+
+// TestRingDeterministicExport checks that exporting a quiescent ring
+// twice yields byte-identical Chrome JSON.
+func TestRingDeterministicExport(t *testing.T) {
+	r := NewRing(32, 1)
+	for i := 1; i <= 50; i++ {
+		r.Record(machine.TraceEvent{
+			Node: cube.NodeID(i % 4),
+			Kind: machine.TraceKind(i % 3),
+			Peer: cube.NodeID((i + 1) % 4),
+			Keys: i,
+			Hops: 1,
+			Time: machine.Time(i * 10),
+		})
+	}
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, r.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, r.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of a quiescent ring differ")
+	}
+}
+
+// TestRingReset checks Reset restores the empty state.
+func TestRingReset(t *testing.T) {
+	r := NewRing(16, 2)
+	for i := 1; i <= 10; i++ {
+		r.Record(evAt(0, i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 || r.Recorded() != 0 || r.Snapshot(0) != nil {
+		t.Fatalf("ring not empty after Reset: len=%d seen=%d recorded=%d", r.Len(), r.Seen(), r.Recorded())
+	}
+	r.Record(evAt(0, 1)) // sampling phase restarts: first event is kept
+	if r.Recorded() != 1 {
+		t.Fatal("first post-Reset event was sampled away")
+	}
+}
+
+// TestWriteChromeFormat decodes the exported JSON and checks the trace-
+// event schema: metadata thread names plus one instant event per machine
+// event with the documented args.
+func TestWriteChromeFormat(t *testing.T) {
+	events := []machine.TraceEvent{
+		{Node: 2, Kind: machine.TraceSend, Peer: 3, Tag: 7, Keys: 64, Hops: 2, Time: 100},
+		{Node: 3, Kind: machine.TraceRecv, Peer: 2, Tag: 7, Keys: 64, Time: 260},
+		{Node: 3, Kind: machine.TraceCompute, Keys: 63, Time: 300},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Tid  int64  `json:"tid"`
+			Args struct {
+				Peer *int64 `json:"peer"`
+				Keys *int   `json:"keys"`
+				Hops *int   `json:"hops"`
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, inst int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Args.Name == "" {
+				t.Errorf("metadata row without thread name: %+v", ev)
+			}
+		case "i":
+			inst++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 { // nodes 2 and 3
+		t.Errorf("thread-name rows = %d, want 2", meta)
+	}
+	if inst != len(events) {
+		t.Errorf("instant events = %d, want %d", inst, len(events))
+	}
+	// The send event keeps its payload.
+	send := doc.TraceEvents[meta]
+	if send.Name != "send" || send.Ts != 100 || send.Tid != 2 ||
+		send.Args.Peer == nil || *send.Args.Peer != 3 ||
+		send.Args.Keys == nil || *send.Args.Keys != 64 ||
+		send.Args.Hops == nil || *send.Args.Hops != 2 {
+		t.Errorf("send event mangled: %+v", send)
+	}
+}

@@ -1,0 +1,52 @@
+package hypersort
+
+import (
+	"testing"
+
+	"hypersort/internal/trace"
+)
+
+// BenchmarkEngineObsOverhead is the overhead guard for the
+// observability layer: identical warm-engine traffic with metrics only
+// (the always-on default), with full every-event ring tracing, and with
+// 1-in-16 sampled tracing. The sub-benchmark deltas are the layer's
+// measured cost; OBSERVABILITY.md's "near-free" claim is this benchmark.
+// (BenchmarkEngineBatch, gated in CI against the committed baseline,
+// runs metrics-only — the always-on production configuration.)
+func BenchmarkEngineObsOverhead(b *testing.B) {
+	configs := []Config{
+		{Dim: 4, Faults: []NodeID{0, 1, 2}},
+		{Dim: 5, Faults: []NodeID{3, 17}},
+	}
+	const perBatch = 16
+	reqs := make([]Request, perBatch)
+	for i := range reqs {
+		reqs[i] = Request{Config: configs[i%len(configs)], Op: OpSort, Keys: genKeys(512, uint64(i))}
+	}
+	run := func(b *testing.B, cfg EngineConfig) {
+		b.Helper()
+		b.ReportAllocs()
+		eng := NewEngine(cfg)
+		defer eng.Close()
+		eng.SortBatch(reqs) // warm the plan cache and pools
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.SortBatch(reqs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	}
+	b.Run("metrics-only", func(b *testing.B) {
+		run(b, EngineConfig{})
+	})
+	b.Run("traced-full", func(b *testing.B) {
+		ring := trace.NewRing(1<<16, 1)
+		run(b, EngineConfig{Trace: ring.Record})
+	})
+	b.Run("traced-sampled", func(b *testing.B) {
+		ring := trace.NewRing(1<<16, 16)
+		run(b, EngineConfig{Trace: ring.Record})
+	})
+}
