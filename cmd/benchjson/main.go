@@ -18,10 +18,16 @@
 // barrier) trips the gate. Raise -time-tolerance per-invocation when a
 // runner class is known-noisy.
 //
+// With -count N the benchmarks run N times (go test -count) and every
+// gated metric is the per-benchmark median, so one noisy sample on a
+// shared runner neither writes a skewed baseline nor trips the gate.
+// Custom b.ReportMetric columns (req/s, p99-wait-ns, ...) are tolerated
+// and ignored: only ns/op, B/op, and allocs/op are recorded.
+//
 // Usage:
 //
-//	benchjson -bench 'BenchmarkFig7c' -o BENCH_PR3.json   # write baseline
-//	benchjson -bench '...' -baseline BENCH_PR3.json        # gate in CI
+//	benchjson -bench 'BenchmarkFig7c' -count 3 -o BENCH_PR5.json  # write baseline
+//	benchjson -bench '...' -baseline BENCH_PR5.json               # gate in CI
 package main
 
 import (
@@ -36,12 +42,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's measured metrics.
+// Result is one benchmark's measured metrics. With -count > 1 each
+// metric is the median of the samples (ties averaged), and Samples
+// records how many runs fed it.
 type Result struct {
 	Name     string  `json:"name"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   int64   `json:"b_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
+	Samples  int     `json:"samples,omitempty"`
 }
 
 // Doc is the file format: results keyed by benchmark name plus the exact
@@ -61,6 +70,7 @@ func main() {
 		allocTol  = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op increase over baseline")
 		bytesTol  = flag.Float64("bytes-tolerance", 0.25, "allowed fractional B/op increase over baseline")
 		timeTol   = flag.Float64("time-tolerance", 0.25, "allowed fractional ns/op increase over baseline")
+		count     = flag.Int("count", 1, "benchmark repetitions (go test -count); metrics are per-benchmark medians")
 		input     = flag.String("parse", "", "parse an existing `go test -bench` output file instead of running benchmarks")
 	)
 	flag.Parse()
@@ -77,7 +87,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
 		command = "go " + strings.Join(args, " ")
 		fmt.Fprintf(os.Stderr, "benchjson: %s\n", command)
 		cmd := exec.Command("go", args...)
@@ -123,16 +133,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 }
 
-// benchLine matches `go test -bench -benchmem` output rows, e.g.
+// benchLine matches `go test -bench -benchmem` output rows, tolerating
+// any custom b.ReportMetric columns between ns/op and the -benchmem
+// pair (req/s, p99-wait-ns, ...), e.g.
 //
 //	BenchmarkFig7c-4   2   119450477 ns/op   23925104 B/op   20650 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+//	BenchmarkEngineThroughput/batching-4   516145   3923 ns/op   254930 req/s   145 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.eE+-]+ [\w/.-]+)*?\s+(\d+) B/op\s+(\d+) allocs/op`)
 
-// parseBench extracts Results from go test -bench output. Benchmarks
-// without -benchmem columns are skipped (everything in this repo reports
-// allocations).
+// parseBench extracts Results from go test -bench output, collapsing
+// repeated rows of one benchmark (go test -count N) into per-metric
+// medians. Benchmarks without -benchmem columns are skipped (everything
+// in this repo reports allocations).
 func parseBench(out string) ([]Result, error) {
-	var results []Result
+	samples := make(map[string]*[3][]float64)
+	var order []string
 	for _, line := range strings.Split(out, "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -150,10 +165,40 @@ func parseBench(out string) ([]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 		}
-		results = append(results, Result{Name: m[1], NsPerOp: ns, BPerOp: bpo, AllocsOp: apo})
+		s, ok := samples[m[1]]
+		if !ok {
+			s = new([3][]float64)
+			samples[m[1]] = s
+			order = append(order, m[1])
+		}
+		s[0] = append(s[0], ns)
+		s[1] = append(s[1], float64(bpo))
+		s[2] = append(s[2], float64(apo))
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		s := samples[name]
+		results = append(results, Result{
+			Name:     name,
+			NsPerOp:  median(s[0]),
+			BPerOp:   int64(median(s[1])),
+			AllocsOp: int64(median(s[2])),
+			Samples:  len(s[0]),
+		})
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	return results, nil
+}
+
+// median returns the middle sample (the mean of the middle two for even
+// counts). The slice is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 func readDoc(path string) (Doc, error) {

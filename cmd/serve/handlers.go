@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -84,10 +85,13 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
 			writeJSON(w, http.StatusBadRequest, wireResult{Err: err.Error()})
 			return
 		}
-		res := eng.SortBatch([]hypersort.Request{req})[0]
-		status := http.StatusOK
-		if res.Err != nil {
-			status = http.StatusUnprocessableEntity
+		// The request context rides into the engine: a client that
+		// disconnects while its request is queued frees the slot
+		// immediately (the dispatcher never claims a cancelled item).
+		res := eng.SortBatchContext(r.Context(), []hypersort.Request{req})[0]
+		status := statusFor(res.Err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
 		}
 		writeJSON(w, status, toWire(req, res))
 	})
@@ -103,7 +107,7 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
 		for i, wr := range body.Requests {
 			reqs[i], preErr[i] = wr.toRequest()
 		}
-		results := eng.SortBatch(reqs)
+		results := eng.SortBatchContext(r.Context(), reqs)
 		out := make([]wireResult, len(results))
 		for i, res := range results {
 			if preErr[i] != nil {
@@ -115,6 +119,21 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	})
 	return mux
+}
+
+// statusFor maps a per-request engine error to its HTTP status:
+// admission rejection (the lane's bounded queue is full) is transient
+// backpressure, so it answers 503 rather than 422 — clients should shed
+// or retry, not fix the request.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, hypersort.ErrAdmissionRejected):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // wireRequest is the JSON shape of one request.

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	serve -addr :8080 [-pool 4] [-workers 8] [-trace-buf 65536] [-trace-sample 1]
+//	serve [-no-batching] [-max-batch 32] [-max-linger 100us] [-admission-queue 256]
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
+//
+// Sort requests flow through the engine's continuous-batching
+// dispatcher: concurrent requests on the same configuration fuse into
+// one machine run. When a configuration's admission queue fills, the
+// affected requests answer 503 with Retry-After — backpressure, not
+// client error. -no-batching restores the direct per-request path.
 //
 // Endpoints:
 //
@@ -52,6 +59,10 @@ func main() {
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		pool        = flag.Int("pool", 0, "machines pooled per configuration (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "concurrent batch requests (0 = GOMAXPROCS)")
+		noBatching  = flag.Bool("no-batching", false, "disable the continuous-batching dispatcher (every sort takes the direct pool path)")
+		maxBatch    = flag.Int("max-batch", 0, "max sort requests fused into one machine run (0 = default)")
+		maxLinger   = flag.Duration("max-linger", 0, "how long the dispatcher holds a partial batch open for stragglers (0 = default)")
+		admission   = flag.Int("admission-queue", 0, "queued sorts allowed per configuration before 503s (0 = default)")
 		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 of every N machine events")
 		demo        = flag.Bool("demo", false, "run the offline batch-throughput demo and exit")
@@ -65,7 +76,14 @@ func main() {
 	// one atomic claim per event, and /v1/trace exports the most recent
 	// window on demand.
 	var ring *trace.Ring
-	ecfg := hypersort.EngineConfig{PoolSize: *pool, BatchWorkers: *workers}
+	ecfg := hypersort.EngineConfig{
+		PoolSize:        *pool,
+		BatchWorkers:    *workers,
+		DisableBatching: *noBatching,
+		MaxBatch:        *maxBatch,
+		MaxLinger:       *maxLinger,
+		AdmissionQueue:  *admission,
+	}
 	if *traceBuf > 0 {
 		ring = trace.NewRing(*traceBuf, *traceSample)
 		ecfg.Trace = ring.Record
@@ -91,7 +109,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		}
 	}()
-	fmt.Printf("serve: listening on %s (pool=%d workers=%d trace-buf=%d)\n", *addr, *pool, *workers, *traceBuf)
+	fmt.Printf("serve: listening on %s (pool=%d workers=%d batching=%v trace-buf=%d)\n", *addr, *pool, *workers, !*noBatching, *traceBuf)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)

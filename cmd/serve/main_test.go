@@ -8,7 +8,9 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hypersort"
 	"hypersort/internal/trace"
@@ -290,6 +292,71 @@ func TestServeMetricsJSON(t *testing.T) {
 	}
 	if sv, ok := body.Registry["hypersort_engine_requests_total"]; !ok || sv.Kind != "counter" {
 		t.Errorf("registry snapshot missing request counter: %v", body.Registry)
+	}
+}
+
+// TestServeStatusMapping pins the engine-error -> HTTP status contract:
+// admission rejection is backpressure (503, retryable), every other
+// engine failure is the request's fault (422).
+func TestServeStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"ok", nil, http.StatusOK},
+		{"admission rejected", hypersort.ErrAdmissionRejected, http.StatusServiceUnavailable},
+		{"wrapped admission rejected", fmt.Errorf("lane: %w", hypersort.ErrAdmissionRejected), http.StatusServiceUnavailable},
+		{"other engine error", fmt.Errorf("no single-fault structure"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("%s: statusFor = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestServeBatchedSortsCoalesce drives concurrent sorts on one
+// configuration through the HTTP surface and asserts the dispatcher
+// actually fused them — the production path (serve -> engine -> lane ->
+// fused session run) exercised end to end.
+func TestServeBatchedSortsCoalesce(t *testing.T) {
+	ring := trace.NewRing(1024, 1)
+	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 1, BatchWorkers: 16, Trace: ring.Record, MaxLinger: 2 * time.Millisecond})
+	srv := httptest.NewServer(newMux(eng, ring))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+
+	const burst = 16
+	body := sortBody(3, []int64{5}, 64)
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/sort", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	mtr := eng.Metrics()
+	if mtr.FusedRequests <= mtr.FusedBatches {
+		t.Fatalf("no coalescing over HTTP: %d fused requests in %d batches", mtr.FusedRequests, mtr.FusedBatches)
 	}
 }
 

@@ -1,15 +1,18 @@
 package hypersort
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"hypersort/internal/engine"
 	"hypersort/internal/machine"
 	"hypersort/internal/obs"
 )
 
-// EngineConfig tunes an Engine's resource bounds. The zero value selects
-// sensible defaults (GOMAXPROCS for both bounds).
+// EngineConfig tunes an Engine's resource bounds and its continuous-
+// batching dispatcher. The zero value selects sensible defaults
+// (GOMAXPROCS for both resource bounds, batching on).
 type EngineConfig struct {
 	// PoolSize bounds the simulated machines kept per configuration.
 	// Each concurrent request on one configuration needs its own
@@ -31,15 +34,42 @@ type EngineConfig struct {
 	// internal ring tracer behind cmd/serve's /v1/trace) is the intended
 	// consumer. Leave nil for zero tracing overhead.
 	Trace func(TraceEvent)
+
+	// DisableBatching turns the continuous-batching dispatcher off:
+	// every request leases its own machine (the pool-only behaviour of
+	// earlier releases). Mainly for A/B measurement.
+	DisableBatching bool
+	// MaxBatch caps how many concurrent compatible sort requests one
+	// fused machine run may carry. Values < 1 select the default (8).
+	MaxBatch int
+	// MaxLinger is how long the dispatcher holds a partial batch open
+	// waiting for more requests. 0 (the default) never waits: batches
+	// form only while the machine pool is saturated, adding no latency
+	// at low load. Positive values trade latency for larger batches.
+	MaxLinger time.Duration
+	// AdmissionQueue bounds how many sort requests may wait per
+	// configuration; beyond it requests fail fast with
+	// ErrAdmissionRejected. Values < 1 select the default (256).
+	AdmissionQueue int
 }
+
+// ErrAdmissionRejected is found (via errors.Is) in a Result.Err or Sort
+// error when the engine's bounded admission queue for the request's
+// configuration was full. It is the backpressure signal: shed load or
+// retry with backoff. cmd/serve maps it to HTTP 503.
+var ErrAdmissionRejected = engine.ErrAdmissionRejected
 
 // Engine is a concurrent, reusable front end to the fault-tolerant
 // sorter, built for serving many requests against a recurring set of
 // configurations. Unlike Sorter it is safe for arbitrary concurrent use:
 // it caches partition plans by canonical configuration (so repeated
-// configurations skip the O(rN) cutting-dimension search entirely) and
+// configurations skip the O(rN) cutting-dimension search entirely),
 // pools independent simulated machines per configuration (so concurrent
-// requests run in parallel instead of serializing or racing).
+// requests run in parallel instead of serializing or racing), and
+// coalesces concurrent compatible sort requests into fused machine runs
+// via a continuous-batching dispatcher (so a saturated pool amortizes
+// lease and dispatch overhead across the queue instead of paying it per
+// request — see EngineConfig's MaxBatch/MaxLinger/AdmissionQueue).
 //
 // Limitations: Config.Trace is rejected — a per-run event hook cannot be
 // cached or pooled; use a dedicated Sorter to trace a run. Plan-search
@@ -58,7 +88,12 @@ type Engine struct {
 // per-phase kernel breakdowns. The bundles are shared instruments — two
 // engines in one process accumulate into the same series.
 func NewEngine(cfg EngineConfig) *Engine {
-	eng := engine.New(cfg.PoolSize, cfg.BatchWorkers)
+	eng := engine.NewOpts(cfg.PoolSize, cfg.BatchWorkers, engine.BatchOptions{
+		Disabled:   cfg.DisableBatching,
+		MaxBatch:   cfg.MaxBatch,
+		MaxLinger:  cfg.MaxLinger,
+		QueueDepth: cfg.AdmissionQueue,
+	})
 	eng.Instrument(obs.Default())
 	if cfg.Trace != nil {
 		eng.SetTrace(machine.TraceFunc(cfg.Trace))
@@ -102,17 +137,20 @@ type Result struct {
 	Err   error
 }
 
-// Close retires the persistent worker goroutines of the engine's pooled
-// machines. Call it when done serving — typically on server shutdown,
-// after in-flight requests have drained. The engine remains usable
-// afterwards (machines respawn workers on demand), so Close is a
-// resource release, not a poison pill; it is idempotent and safe to
-// defer at construction time.
+// Close shuts down the engine's dispatch lanes (queued requests are
+// drained and served first) and retires the persistent worker goroutines
+// of its pooled machines. Call it when done serving — typically on
+// server shutdown, after in-flight requests have drained. The engine
+// remains usable afterwards (requests fall back to the unbatched direct
+// path and machines respawn workers on demand), so Close is a resource
+// release, not a poison pill; it is idempotent and safe to defer at
+// construction time.
 func (e *Engine) Close() { e.eng.Close() }
 
 // EngineMetrics snapshots an engine's lifetime counters: requests
-// served, plan-cache hits and misses, and machines constructed (full
-// builds versus pool-clone fast-paths).
+// served, plan-cache hits and misses, machines constructed (full builds
+// versus pool-clone fast-paths), and the continuous-batching
+// dispatcher's coalescing, rejection, and cancellation counts.
 type EngineMetrics = engine.Metrics
 
 // Metrics returns a snapshot of the engine's lifetime counters.
@@ -136,10 +174,21 @@ func (e *Engine) Partition(cfg Config) (Partition, error) {
 }
 
 // Sort sorts keys ascending on the configured faulty hypercube, reusing
-// the engine's cached plan and pooled machines for cfg. Safe for
+// the engine's cached plan and pooled machines for cfg — and, when other
+// Sorts for the same configuration are in flight, fusing them into one
+// machine run via the continuous-batching dispatcher. Safe for
 // concurrent use.
 func (e *Engine) Sort(cfg Config, keys []Key) ([]Key, Stats, error) {
-	res := e.do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	return e.SortContext(context.Background(), cfg, keys)
+}
+
+// SortContext is Sort with deadline and cancellation awareness: a
+// request whose context is done before it acquires execution capacity
+// returns promptly with the context's error (check with errors.Is). A
+// context that expires after the simulated run started does not abort
+// it.
+func (e *Engine) SortContext(ctx context.Context, cfg Config, keys []Key) ([]Key, Stats, error) {
+	res := e.doCtx(ctx, Request{Config: cfg, Op: OpSort, Keys: keys})
 	return res.Keys, res.Stats, res.Err
 }
 
@@ -167,6 +216,13 @@ func (e *Engine) TopK(cfg Config, keys []Key, k int) ([]Key, Stats, error) {
 // fault set, or invalid operands fails alone — every valid request in
 // the batch still returns its result.
 func (e *Engine) SortBatch(reqs []Request) []Result {
+	return e.SortBatchContext(context.Background(), reqs)
+}
+
+// SortBatchContext is SortBatch with a shared context: requests still
+// waiting for execution capacity when ctx is done return its error in
+// their Result; requests already running complete normally.
+func (e *Engine) SortBatchContext(ctx context.Context, reqs []Request) []Result {
 	inner := make([]engine.Request, len(reqs))
 	errs := make([]error, len(reqs))
 	for i, r := range reqs {
@@ -177,7 +233,7 @@ func (e *Engine) SortBatch(reqs []Request) []Result {
 		}
 		inner[i] = engine.Request{Config: ecfg, Op: r.Op, Keys: r.Keys, K: r.K}
 	}
-	innerRes := e.eng.Batch(inner)
+	innerRes := e.eng.BatchContext(ctx, inner)
 	out := make([]Result, len(reqs))
 	for i := range reqs {
 		if errs[i] != nil {
@@ -196,11 +252,16 @@ func (e *Engine) SortBatch(reqs []Request) []Result {
 
 // do runs one request through the engine.
 func (e *Engine) do(req Request) Result {
+	return e.doCtx(context.Background(), req)
+}
+
+// doCtx runs one request through the engine under ctx.
+func (e *Engine) doCtx(ctx context.Context, req Request) Result {
 	ecfg, err := engineConfig(req.Config)
 	if err != nil {
 		return Result{Err: err}
 	}
-	res := e.eng.Do(engine.Request{Config: ecfg, Op: req.Op, Keys: req.Keys, K: req.K})
+	res := e.eng.DoContext(ctx, engine.Request{Config: ecfg, Op: req.Op, Keys: req.Keys, K: req.K})
 	return Result{Keys: res.Keys, Value: res.Value, Stats: statsOf(res.Res), Err: res.Err}
 }
 

@@ -196,6 +196,17 @@ func (c *Ctx) NextTag() machine.Tag {
 	return c.tag
 }
 
+// UseScratch seeds the context's double-buffered arena with a
+// caller-owned buffer, so a caller that runs many kernels over
+// fixed-size chunks (the engine's fused dispatch) can recycle the
+// scratch across runs instead of paying one allocation per context. The
+// buffer must not alias the chunk; after the kernel finishes the
+// caller's buffer and the chunk may have traded places (the arena
+// ping-pongs), so the caller must treat both as a pair it owns.
+func (c *Ctx) UseScratch(buf []sortutil.Key) {
+	c.scratch = buf
+}
+
 // scratchFor returns the arena's scratch buffer resized to n, allocating
 // only when the current one is too small — in a sort every chunk has the
 // same fixed size, so this allocates once per context lifetime.

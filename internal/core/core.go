@@ -140,71 +140,172 @@ func FTSortOpt(m *machine.Machine, plan *partition.Plan, keys []sortutil.Key, op
 // same configuration (the engine) build it once and reuse it, skipping
 // the per-request view/slot-map construction.
 func FTSortLayout(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts Options) ([]sortutil.Key, machine.Result, error) {
+	run, err := NewSortRun(m, layout, keys, opts)
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	res, err := m.RunInto(layout.Working, run.Kernel(), opts.PerNodeBuf)
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	return run.Gather(), res, nil
+}
+
+// SortRun is one prepared FTSort execution: the validated plan/machine
+// pairing, the distributed key shares, the per-processor output slots,
+// and the SPMD kernel closure — everything FTSortLayout does around the
+// machine run, split from the run itself so the engine's continuous-
+// batching dispatcher can fuse several prepared sorts into one machine
+// dispatch (machine.Session.RunBatch) and gather each result afterwards.
+type SortRun struct {
+	layout *Layout
+	opts   Options
+	shares [][]sortutil.Key
+	out    [][]sortutil.Key
+	group  *collective.Group
+	// backing is the shares' arena and scratch/scratchBack the matching
+	// per-slot double-buffer halves handed to the bitonic contexts; all
+	// three are retained so Reuse can redistribute fresh keys without
+	// allocating. After a run, a slot's share and scratch buffers may
+	// have traded places (the bitonic arena ping-pongs) — both stay
+	// owned by this SortRun, so Reuse simply overwrites them.
+	backing     []sortutil.Key
+	scratch     [][]sortutil.Key
+	scratchBack []sortutil.Key
+	// kern caches the Kernel closure: a reused SortRun serves many
+	// requests, and the closure's captures (just the receiver) never
+	// change.
+	kern machine.Kernel
+}
+
+// NewSortRun validates the plan/machine pairing and distributes keys,
+// returning the prepared run. The returned SortRun is good for one
+// execution of its Kernel followed by one Gather; Reuse re-arms it for
+// another request on the same layout.
+func NewSortRun(m *machine.Machine, layout *Layout, keys []sortutil.Key, opts Options) (*SortRun, error) {
 	plan := layout.Plan
 	if plan.Cube.Dim() != m.Cube().Dim() {
-		return nil, machine.Result{}, fmt.Errorf("core: plan for Q_%d used on Q_%d", plan.Cube.Dim(), m.Cube().Dim())
+		return nil, fmt.Errorf("core: plan for Q_%d used on Q_%d", plan.Cube.Dim(), m.Cube().Dim())
 	}
 	for f := range m.Faults() {
 		if !plan.Faults.Has(f) {
-			return nil, machine.Result{}, fmt.Errorf("core: machine fault %d missing from plan", f)
+			return nil, fmt.Errorf("core: machine fault %d missing from plan", f)
 		}
 	}
 	for f := range plan.Faults {
 		if !m.Faults().Has(f) {
-			return nil, machine.Result{}, fmt.Errorf("core: plan fault %d not faulty on machine", f)
+			return nil, fmt.Errorf("core: plan fault %d not faulty on machine", f)
 		}
 	}
 
-	shares, err := workload.Distribute(keys, len(layout.Working))
-	if err != nil {
-		return nil, machine.Result{}, err
+	r := &SortRun{
+		layout: layout,
+		opts:   opts,
+		out:    make([][]sortutil.Key, len(layout.Working)),
 	}
-	out := make([][]sortutil.Key, len(layout.Working))
-	var group *collective.Group
+	if err := r.distribute(keys); err != nil {
+		return nil, err
+	}
 	if opts.AccountDistribution {
-		if group, err = collective.NewGroup(layout.Working); err != nil {
-			return nil, machine.Result{}, err
+		var err error
+		if r.group, err = collective.NewGroup(layout.Working); err != nil {
+			return nil, err
 		}
 	}
-	res, err := m.RunInto(layout.Working, func(p *machine.Proc) error {
-		slot := layout.SlotOf[p.ID()]
-		pr := phaseProbe{p: p, ps: opts.Phases}
-		pr.mark()
-		// Distribute allocated the shares for this call, so each kernel
-		// owns its share outright (the caller's keys stay untouched
-		// without a defensive clone).
-		share := shares[slot]
-		if opts.AccountDistribution {
-			var all [][]sortutil.Key
-			if slot == 0 {
-				all = shares
-			}
-			share = collective.Scatter(p, group, 0, scatterTag, all)
-			pr.lap(obs.PhaseStep2Distribute)
-		}
-		chunk := kernel(p, layout, share, opts, &pr)
-		if opts.AccountDistribution {
-			pr.mark()
-			collected := collective.Gather(p, group, 0, gatherTag, chunk)
-			pr.lap(obs.PhaseStep2Distribute)
-			if slot == 0 {
-				copy(out, collected)
-			}
-			return nil
-		}
-		out[slot] = chunk
-		return nil
-	}, opts.PerNodeBuf)
+	return r, nil
+}
+
+// Reuse re-arms a finished run for a fresh request on the same layout
+// and options, redistributing keys into the retained arenas. It skips
+// NewSortRun's plan/machine validation — the caller vouches that the
+// machine configuration matches the one the run was built for (the
+// engine's dispatch lanes serve exactly one configuration, so the check
+// would re-verify an invariant of the lane). Steady state it allocates
+// nothing: only a change in padded share geometry regrows the arenas.
+func (r *SortRun) Reuse(keys []sortutil.Key) error {
+	clear(r.out)
+	return r.distribute(keys)
+}
+
+// distribute splits keys into the run's share arena and sizes the
+// per-slot scratch buffers to match, reusing retained capacity.
+func (r *SortRun) distribute(keys []sortutil.Key) error {
+	p := len(r.layout.Working)
+	var err error
+	r.backing, r.shares, err = workload.DistributeInto(r.backing, r.shares, keys, p)
 	if err != nil {
-		return nil, machine.Result{}, err
+		return err
 	}
+	q := len(r.shares[0])
+	if cap(r.scratchBack) < p*q {
+		r.scratchBack = make([]sortutil.Key, p*q)
+	}
+	if cap(r.scratch) < p {
+		r.scratch = make([][]sortutil.Key, p)
+	} else {
+		r.scratch = r.scratch[:p]
+	}
+	for i := 0; i < p; i++ {
+		r.scratch[i] = r.scratchBack[i*q : (i+1)*q : (i+1)*q]
+	}
+	return nil
+}
+
+// Kernel returns the run's SPMD program, suitable for machine.Run or a
+// fused machine.Session sub-run on the layout's Working participants.
+// The closure is cached: successive calls (one per Reuse cycle) return
+// the same function.
+func (r *SortRun) Kernel() machine.Kernel {
+	if r.kern == nil {
+		r.kern = r.runKernel
+	}
+	return r.kern
+}
+
+// runKernel is the SPMD program of one participant (the body of Kernel).
+func (r *SortRun) runKernel(p *machine.Proc) error {
+	layout, opts := r.layout, r.opts
+	slot := layout.SlotOf[p.ID()]
+	pr := phaseProbe{p: p, ps: opts.Phases}
+	pr.mark()
+	// Distribute owns the shares' arena for this run, so each kernel
+	// owns its share outright (the caller's keys stay untouched
+	// without a defensive clone).
+	share := r.shares[slot]
+	scratch := r.scratch[slot]
+	if opts.AccountDistribution {
+		var all [][]sortutil.Key
+		if slot == 0 {
+			all = r.shares
+		}
+		share = collective.Scatter(p, r.group, 0, scatterTag, all)
+		pr.lap(obs.PhaseStep2Distribute)
+	}
+	chunk := kernel(p, layout, share, scratch, opts, &pr)
+	if opts.AccountDistribution {
+		pr.mark()
+		collected := collective.Gather(p, r.group, 0, gatherTag, chunk)
+		pr.lap(obs.PhaseStep2Distribute)
+		if slot == 0 {
+			copy(r.out, collected)
+		}
+		return nil
+	}
+	r.out[slot] = chunk
+	return nil
+}
+
+// Gather concatenates the per-processor chunks (in distribution order)
+// and strips the padding sentinels, yielding the sorted keys. Call only
+// after the Kernel's run completed without error.
+func (r *SortRun) Gather() []sortutil.Key {
 	// Every chunk has the padded share size, so size the gather exactly
-	// (len(keys) undercounts by the dummy padding).
-	gathered := make([]sortutil.Key, 0, len(shares)*len(shares[0]))
-	for _, chunk := range out {
+	// (the original key count undercounts by the dummy padding).
+	gathered := make([]sortutil.Key, 0, len(r.shares)*len(r.shares[0]))
+	for _, chunk := range r.out {
 		gathered = append(gathered, chunk...)
 	}
-	return sortutil.StripInf(gathered), res, nil
+	return sortutil.StripInf(gathered)
 }
 
 // Layout is the precomputed placement the kernels share: every subcube's
@@ -251,13 +352,14 @@ func NewLayout(plan *partition.Plan) *Layout {
 // processor's final chunk (sorted ascending). The probe attributes the
 // processor's clock advance to the paper's steps; pass a probe with a
 // nil PhaseSet to disable.
-func kernel(p *machine.Proc, l *Layout, share []sortutil.Key, opts Options, pr *phaseProbe) []sortutil.Key {
+func kernel(p *machine.Proc, l *Layout, share, scratch []sortutil.Key, opts Options, pr *phaseProbe) []sortutil.Key {
 	sp := l.Plan.Split
 	v := sp.V(p.ID())
 	myView := l.Views[v]
 	t := myView.Logical(p.ID())
 	ctx := bitonic.NewCtx(p, myView, share)
 	ctx.Protocol = opts.Protocol
+	ctx.UseScratch(scratch)
 
 	// Step 3: local heapsort + intra-subcube bitonic sort, ascending iff
 	// the subcube address is even. (SortView unrolled so the probe can

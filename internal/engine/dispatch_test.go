@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// gateTrace installs a machine trace hook that blocks every traced event
+// until the returned release function is called — the deterministic way
+// to hold a request "running" on its leased machine while the test
+// arranges queue conditions behind it. Must be installed before the
+// engine builds any machine.
+func gateTrace(e *Engine) (release func()) {
+	gate := make(chan struct{})
+	e.SetTrace(func(machine.TraceEvent) { <-gate })
+	var once sync.Once
+	return func() { once.Do(func() { close(gate) }) }
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCancelWhileQueuedBatchedPath is the regression test for
+// deadline-aware admission on the dispatcher path: a sort request whose
+// context is cancelled while it waits behind a saturated pool must
+// return promptly with the context error, and must not leak a pool
+// token or a queue slot — the engine stays fully usable.
+func TestCancelWhileQueuedBatchedPath(t *testing.T) {
+	e := NewOpts(1, 4, BatchOptions{MaxBatch: 1, QueueDepth: 8})
+	defer e.Close()
+	release := gateTrace(e)
+	defer release()
+
+	cfg := Config{Dim: 3, Faults: []cube.NodeID{2}}
+	keys := workload.MustGenerate(workload.Uniform, 64, xrand.New(11))
+
+	// Request 1 leases the only machine and stalls on the trace gate.
+	first := make(chan Result, 1)
+	go func() { first <- e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}) }()
+	waitFor(t, "first request to start its fused run", func() bool {
+		return e.Metrics().FusedRequests == 1
+	})
+
+	// Request 2 queues behind it; cancel while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan Result, 1)
+	go func() {
+		second <- e.DoContext(ctx, Request{Config: cfg, Op: OpSort, Keys: keys})
+	}()
+	time.Sleep(5 * time.Millisecond) // let it reach the lane queue
+	cancel()
+	select {
+	case res := <-second:
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("cancelled request returned %v, want context.Canceled", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return promptly")
+	}
+	if got := e.Metrics().Cancelled; got != 1 {
+		t.Fatalf("Cancelled = %d, want 1", got)
+	}
+
+	// Unblock request 1 and prove nothing leaked: it completes, and a
+	// fresh request still gets the machine.
+	release()
+	if res := <-first; res.Err != nil {
+		t.Fatalf("first request failed: %v", res.Err)
+	}
+	if res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatalf("request after cancellation failed: %v", res.Err)
+	}
+}
+
+// TestCancelWhileQueuedDirectPath covers the same regression on the
+// pool-only path (batching disabled): a request blocked in the machine
+// pool's acquire must honor cancellation.
+func TestCancelWhileQueuedDirectPath(t *testing.T) {
+	e := NewOpts(1, 4, BatchOptions{Disabled: true})
+	defer e.Close()
+	release := gateTrace(e)
+	defer release()
+
+	cfg := Config{Dim: 3}
+	keys := workload.MustGenerate(workload.Uniform, 64, xrand.New(12))
+	first := make(chan Result, 1)
+	go func() { first <- e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}) }()
+	waitFor(t, "first request to lease the machine", func() bool {
+		return e.Metrics().MachinesBuilt == 1
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan Result, 1)
+	go func() {
+		second <- e.DoContext(ctx, Request{Config: cfg, Op: OpSort, Keys: keys})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-second:
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("cancelled request returned %v, want context.Canceled", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return promptly")
+	}
+	if got := e.Metrics().Cancelled; got != 1 {
+		t.Fatalf("Cancelled = %d, want 1", got)
+	}
+	release()
+	if res := <-first; res.Err != nil {
+		t.Fatalf("first request failed: %v", res.Err)
+	}
+	if res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatalf("request after cancellation failed: %v", res.Err)
+	}
+}
+
+// TestAdmissionRejection fills a lane's bounded queue behind a stalled
+// machine and checks the overflow is refused fast with
+// ErrAdmissionRejected while every admitted request still completes.
+func TestAdmissionRejection(t *testing.T) {
+	e := NewOpts(1, 16, BatchOptions{MaxBatch: 1, QueueDepth: 1})
+	defer e.Close()
+	release := gateTrace(e)
+	defer release()
+
+	cfg := Config{Dim: 3, Faults: []cube.NodeID{1}}
+	keys := workload.MustGenerate(workload.Uniform, 64, xrand.New(13))
+	first := make(chan Result, 1)
+	go func() { first <- e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}) }()
+	waitFor(t, "first request to start its fused run", func() bool {
+		return e.Metrics().FusedRequests == 1
+	})
+
+	// With the machine stalled, at most one follower can sit in the
+	// dispatcher's pending batch and one in the queue (depth 1); of six
+	// followers at least four must be refused.
+	const followers = 6
+	results := make(chan Result, followers)
+	for i := 0; i < followers; i++ {
+		go func() { results <- e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}) }()
+	}
+	waitFor(t, "admission rejections", func() bool {
+		return e.Metrics().AdmissionRejected >= followers-2
+	})
+	release()
+	if res := <-first; res.Err != nil {
+		t.Fatalf("first request failed: %v", res.Err)
+	}
+	rejected := 0
+	for i := 0; i < followers; i++ {
+		res := <-results
+		switch {
+		case res.Err == nil:
+		case errors.Is(res.Err, ErrAdmissionRejected):
+			rejected++
+		default:
+			t.Fatalf("follower failed with %v, want nil or ErrAdmissionRejected", res.Err)
+		}
+	}
+	if rejected < followers-2 {
+		t.Fatalf("rejected = %d, want >= %d", rejected, followers-2)
+	}
+	if got := e.Metrics().AdmissionRejected; got != int64(rejected) {
+		t.Fatalf("AdmissionRejected metric = %d, want %d", got, rejected)
+	}
+}
+
+// TestFusedRunMatchesIndividualRuns is the end-to-end equivalence check:
+// K concurrent sort requests served through the continuous-batching
+// dispatcher (pool of one machine, so they must coalesce) return
+// byte-identical keys and identical deterministic virtual-time stats as
+// the same K requests served one at a time with batching disabled —
+// across randomized dimensions, fault sets, and both protocols.
+func TestFusedRunMatchesIndividualRuns(t *testing.T) {
+	rng := xrand.New(42)
+	ref := NewOpts(2, 4, BatchOptions{Disabled: true})
+	defer ref.Close()
+	fused := NewOpts(1, 16, BatchOptions{MaxBatch: 4, MaxLinger: 2 * time.Millisecond})
+	defer fused.Close()
+
+	const trials = 8
+	const K = 6
+	for trial := 0; trial < trials; trial++ {
+		dim := 3 + rng.IntN(3) // 3..5
+		h := cube.New(dim)
+		nFaults := rng.IntN(dim) // 0..dim-1
+		seen := cube.NewNodeSet()
+		var faults []cube.NodeID
+		for len(faults) < nFaults {
+			f := cube.NodeID(rng.IntN(h.Size()))
+			if !seen.Has(f) {
+				seen.Add(f)
+				faults = append(faults, f)
+			}
+		}
+		cfg := Config{Dim: dim, Faults: faults}
+		if rng.IntN(2) == 0 {
+			cfg.Protocol = bitonic.HalfExchange
+		}
+		m := 50 + rng.IntN(350)
+
+		reqs := make([]Request, K)
+		want := make([]Result, K)
+		for i := range reqs {
+			reqs[i] = Request{
+				Config: cfg,
+				Op:     OpSort,
+				Keys:   workload.MustGenerate(workload.Uniform, m, rng),
+			}
+			want[i] = ref.Do(reqs[i])
+		}
+		if want[0].Err != nil {
+			// Inseparable fault set: both engines must agree it fails.
+			for i := range reqs {
+				if res := fused.Do(reqs[i]); res.Err == nil {
+					t.Fatalf("trial %d: fused engine sorted a configuration the reference rejects", trial)
+				}
+			}
+			continue
+		}
+
+		got := make([]Result, K)
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = fused.Do(reqs[i])
+			}(i)
+		}
+		wg.Wait()
+
+		for i := range got {
+			label := fmt.Sprintf("trial %d request %d (dim %d, %d faults, protocol %v)",
+				trial, i, dim, nFaults, cfg.Protocol)
+			if got[i].Err != nil {
+				t.Fatalf("%s: %v", label, got[i].Err)
+			}
+			if !keysEqual(got[i].Keys, want[i].Keys) {
+				t.Fatalf("%s: fused keys diverge from individual run", label)
+			}
+			g, w := got[i].Res, want[i].Res
+			if g.Makespan != w.Makespan || g.Messages != w.Messages ||
+				g.KeysSent != w.KeysSent || g.KeyHops != w.KeyHops ||
+				g.Comparisons != w.Comparisons {
+				t.Errorf("%s: stats differ:\nfused      %+v\nindividual %+v", label, g, w)
+			}
+		}
+	}
+
+	// Across the trials the single-machine engine must actually have
+	// coalesced — otherwise this test exercised nothing.
+	m := fused.Metrics()
+	if m.FusedRequests <= m.FusedBatches {
+		t.Fatalf("no coalescing observed: %d fused requests in %d batches", m.FusedRequests, m.FusedBatches)
+	}
+	t.Logf("coalescing: %d requests in %d fused batches (mean %.2f/batch)",
+		m.FusedRequests, m.FusedBatches, float64(m.FusedRequests)/float64(m.FusedBatches))
+}
+
+// TestSelectionOpsBypassLanes pins the routing rule: only plain sorts go
+// through dispatch lanes; selection ops run on the direct pool path and
+// never count as fused requests.
+func TestSelectionOpsBypassLanes(t *testing.T) {
+	e := NewOpts(2, 4, BatchOptions{})
+	defer e.Close()
+	cfg := Config{Dim: 4, Faults: []cube.NodeID{7}}
+	keys := workload.MustGenerate(workload.Uniform, 200, xrand.New(21))
+	if res := e.Do(Request{Config: cfg, Op: OpMedian, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := e.Do(Request{Config: cfg, Op: OpTopK, Keys: keys, K: 5}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if m := e.Metrics(); m.FusedRequests != 0 {
+		t.Fatalf("selection ops were fused: FusedRequests = %d, want 0", m.FusedRequests)
+	}
+}
+
+// TestDoAfterCloseFallsBackToDirectPath: a closed engine must keep
+// serving sorts correctly through the unbatched path.
+func TestDoAfterCloseFallsBackToDirectPath(t *testing.T) {
+	e := NewOpts(2, 4, BatchOptions{})
+	cfg := Config{Dim: 3}
+	keys := workload.MustGenerate(workload.Uniform, 100, xrand.New(31))
+	if res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	before := e.Metrics().FusedRequests
+	e.Close()
+	res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatalf("sort after Close failed: %v", res.Err)
+	}
+	if !keysEqual(res.Keys, sortedRef(keys)) {
+		t.Fatal("sort after Close returned wrong keys")
+	}
+	if after := e.Metrics().FusedRequests; after != before {
+		t.Fatalf("request after Close was fused (%d -> %d), want direct path", before, after)
+	}
+}
+
+// TestDeadOnArrivalNeverAdmitted: an already-cancelled context short-
+// circuits before planning or queueing.
+func TestDeadOnArrivalNeverAdmitted(t *testing.T) {
+	e := NewOpts(1, 4, BatchOptions{})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.DoContext(ctx, Request{Config: Config{Dim: 3}, Op: OpSort,
+		Keys: workload.MustGenerate(workload.Uniform, 50, xrand.New(41))})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("dead-on-arrival request returned %v, want context.Canceled", res.Err)
+	}
+	if m := e.Metrics(); m.MachinesBuilt != 0 {
+		t.Fatalf("dead-on-arrival request built a machine")
+	}
+}

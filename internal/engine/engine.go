@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -125,23 +126,62 @@ type Metrics struct {
 	// the template); MachinesCloned counts Clone fast-path constructions.
 	MachinesBuilt  int64
 	MachinesCloned int64
+	// FusedBatches counts fused dispatches (one machine lease each) and
+	// FusedRequests the requests they carried; FusedRequests greater
+	// than FusedBatches means the dispatcher coalesced concurrent work.
+	FusedBatches  int64
+	FusedRequests int64
+	// AdmissionRejected counts requests refused with
+	// ErrAdmissionRejected; Cancelled counts requests whose context was
+	// cancelled while queued.
+	AdmissionRejected int64
+	Cancelled         int64
 }
 
-// Engine caches plans and pools machines. The zero value is not usable;
-// construct with New. All methods are safe for concurrent use.
+// Engine caches plans, pools machines, and coalesces concurrent
+// compatible sort requests into fused machine runs (see lane). The zero
+// value is not usable; construct with New or NewOpts. All methods are
+// safe for concurrent use.
 type Engine struct {
 	poolSize int
 	workers  int
+	batch    BatchOptions // normalized: see NewOpts
 
 	mu    sync.Mutex
 	plans map[partition.PlanKey]*planEntry
 	pools map[poolKey]*pool
+	lanes map[laneKey]*lane
+
+	// pkIntern maps a configuration's fingerprint bytes to the one
+	// durable PlanKey string for it, so the per-request path builds the
+	// fingerprint in a pooled buffer and allocates the string only on a
+	// configuration's first appearance. Guarded by mu.
+	pkIntern map[string]partition.PlanKey
+	keyBufs  sync.Pool
+
+	// Dispatcher lifecycle: stop tells lane dispatchers to drain and
+	// exit; wg tracks dispatchers and in-flight fused runners; closed
+	// (under closeMu) gates new lane submissions so Close cannot strand
+	// a queued request. Do keeps working after Close via the direct
+	// path.
+	closeMu sync.RWMutex
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// items recycles queued-request descriptors (and their rendezvous
+	// channels) across submissions; see item.
+	items sync.Pool
 
 	requests   atomic.Int64
 	planHits   atomic.Int64
 	planMisses atomic.Int64
 	built      atomic.Int64
 	cloned     atomic.Int64
+	fusedBat   atomic.Int64
+	fusedReq   atomic.Int64
+	rejected   atomic.Int64
+	cancelled  atomic.Int64
 
 	// Observability hooks, set before the engine serves requests (see
 	// Instrument / SetTrace): nil means off, and every consuming path
@@ -171,31 +211,80 @@ type poolKey struct {
 	cost machine.CostModel
 }
 
-// New builds an engine. poolSize bounds the simulated machines kept per
-// configuration and workers bounds concurrently executing batch
-// requests; values < 1 select GOMAXPROCS.
+// New builds an engine with default batching options. poolSize bounds
+// the simulated machines kept per configuration and workers bounds
+// concurrently executing batch requests; values < 1 select GOMAXPROCS.
 func New(poolSize, workers int) *Engine {
+	return NewOpts(poolSize, workers, BatchOptions{})
+}
+
+// NewOpts is New with explicit continuous-batching options (zero-value
+// fields select the defaults documented on BatchOptions).
+func NewOpts(poolSize, workers int, batch BatchOptions) *Engine {
 	if poolSize < 1 {
 		poolSize = runtime.GOMAXPROCS(0)
 	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if batch.MaxBatch < 1 {
+		batch.MaxBatch = defaultMaxBatch
+	}
+	if batch.QueueDepth < 1 {
+		batch.QueueDepth = defaultQueueDepth
+	}
+	if batch.MaxLinger < 0 {
+		batch.MaxLinger = 0
+	}
 	return &Engine{
 		poolSize: poolSize,
 		workers:  workers,
+		batch:    batch,
 		plans:    make(map[partition.PlanKey]*planEntry),
 		pools:    make(map[poolKey]*pool),
+		lanes:    make(map[laneKey]*lane),
+		pkIntern: make(map[string]partition.PlanKey),
+		stop:     make(chan struct{}),
 	}
 }
 
-// Close retires the persistent worker goroutines of every pooled
-// machine. Call it when the engine is done serving — e.g. on server
-// shutdown — after all in-flight requests have completed; requests
-// issued after Close still work (a closed machine respawns its workers
-// on the next run) but lose the warm-worker amortization. Close is
-// idempotent.
+// planKey returns the interned PlanKey for cfg. The fingerprint is built
+// in a pooled buffer and looked up without allocating; only a
+// configuration's first appearance pays the string construction.
+func (e *Engine) planKey(cfg Config) partition.PlanKey {
+	bp, _ := e.keyBufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	b := partition.AppendKey((*bp)[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	e.mu.Lock()
+	pk, ok := e.pkIntern[string(b)]
+	if !ok {
+		pk = partition.PlanKey(b)
+		e.pkIntern[string(pk)] = pk
+	}
+	e.mu.Unlock()
+	*bp = b
+	e.keyBufs.Put(bp)
+	return pk
+}
+
+// Close shuts down the dispatch lanes — queued requests are drained and
+// served, then the dispatcher and runner goroutines exit — and retires
+// the persistent worker goroutines of every pooled machine. Call it when
+// the engine is done serving — e.g. on server shutdown — after all
+// in-flight requests have completed; requests issued after Close still
+// work (they take the unbatched direct path, and a closed machine
+// respawns its workers on the next run) but lose the warm-worker and
+// fusion amortization. Close is idempotent.
 func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.stop)
+	}
+	e.closeMu.Unlock()
+	e.wg.Wait()
 	e.mu.Lock()
 	pools := make([]*pool, 0, len(e.pools))
 	for _, p := range e.pools {
@@ -229,11 +318,15 @@ func (e *Engine) SetTrace(fn machine.TraceFunc) { e.trace = fn }
 // Metrics returns a snapshot of the lifetime counters.
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
-		Requests:       e.requests.Load(),
-		PlanHits:       e.planHits.Load(),
-		PlanMisses:     e.planMisses.Load(),
-		MachinesBuilt:  e.built.Load(),
-		MachinesCloned: e.cloned.Load(),
+		Requests:          e.requests.Load(),
+		PlanHits:          e.planHits.Load(),
+		PlanMisses:        e.planMisses.Load(),
+		MachinesBuilt:     e.built.Load(),
+		MachinesCloned:    e.cloned.Load(),
+		FusedBatches:      e.fusedBat.Load(),
+		FusedRequests:     e.fusedReq.Load(),
+		AdmissionRejected: e.rejected.Load(),
+		Cancelled:         e.cancelled.Load(),
 	}
 }
 
@@ -344,7 +437,7 @@ func (e *Engine) Plan(cfg Config) (*partition.Plan, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	key := e.planKey(cfg)
 	entry, err := e.plan(key, cfg)
 	if err != nil {
 		return nil, err
@@ -356,13 +449,24 @@ func (e *Engine) Plan(cfg Config) (*partition.Plan, error) {
 // configuration, planning, or run-time — are reported in Result.Err;
 // Do never panics and never fails any request but its own.
 func (e *Engine) Do(req Request) Result {
+	return e.DoContext(context.Background(), req)
+}
+
+// DoContext is Do with deadline and cancellation awareness: if ctx is
+// done before the request acquires execution capacity (a lane slot or a
+// pooled machine), the request returns promptly with the context's error
+// wrapped in Result.Err, leaking no pool token or queue slot. A context
+// that expires mid-run does not abort the simulation — runs are short
+// and a partially executed simulated machine is worthless to a pool.
+func (e *Engine) DoContext(ctx context.Context, req Request) Result {
 	em := e.em
 	if em == nil {
+		res := e.do(ctx, req)
 		e.requests.Add(1)
-		return e.do(req)
+		return res
 	}
 	start := time.Now()
-	res := e.do(req)
+	res := e.do(ctx, req)
 	e.requests.Add(1)
 	em.Requests.Inc()
 	if res.Err != nil {
@@ -372,8 +476,9 @@ func (e *Engine) Do(req Request) Result {
 	return res
 }
 
-// do is Do's body: panic containment, planning, pooling, dispatch.
-func (e *Engine) do(req Request) (res Result) {
+// do is DoContext's body: panic containment, validation, planning, then
+// dispatch — through a batching lane for sorts, or the direct pool path.
+func (e *Engine) do(ctx context.Context, req Request) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: request panicked: %v", r)}
@@ -383,18 +488,49 @@ func (e *Engine) do(req Request) (res Result) {
 	if err := validate(cfg); err != nil {
 		return Result{Err: err}
 	}
-	key := partition.KeyFor(cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	if err := ctx.Err(); err != nil {
+		// Deadline-aware admission: a dead-on-arrival request never
+		// touches a queue or a machine.
+		return Result{Err: fmt.Errorf("engine: request not admitted: %w", err)}
+	}
+	key := e.planKey(cfg)
 	entry, err := e.plan(key, cfg)
 	if err != nil {
 		return Result{Err: err}
 	}
-	plan := entry.plan
+	// Sorts go through the continuous-batching lanes; selection ops run
+	// their own internal multi-run protocols and stay on the direct
+	// path. A closed engine falls back to the direct path too.
+	if req.Op == OpSort && !e.batch.Disabled {
+		if res, handled := e.submit(ctx, key, cfg, entry, req); handled {
+			return res
+		}
+	}
+	return e.doDirect(ctx, key, cfg, entry, req)
+}
+
+// doDirect is the pool-only path: lease a machine, run the request on
+// it, release. Used by every non-sort op, by sorts when batching is
+// disabled or the engine is closed, and by the dispatcher's failure
+// isolation re-runs.
+func (e *Engine) doDirect(ctx context.Context, key partition.PlanKey, cfg Config, entry *planEntry, req Request) Result {
 	pl := e.poolFor(poolKey{pk: key, cost: cfg.Cost}, cfg)
-	l, err := pl.acquire()
+	var start time.Time
+	if e.em != nil {
+		start = time.Now()
+	}
+	l, err := pl.acquire(ctx, nil)
 	if err != nil {
-		return Result{Err: err}
+		if ctx.Err() != nil {
+			e.cancelled.Add(1)
+			if e.em != nil {
+				e.em.Cancelled.Inc()
+			}
+		}
+		return Result{Err: fmt.Errorf("engine: waiting for a machine: %w", err)}
 	}
 	if e.em != nil {
+		e.em.QueueWait.Observe(time.Since(start).Nanoseconds())
 		e.em.PoolInUse.Add(1)
 	}
 	defer func() {
@@ -403,6 +539,12 @@ func (e *Engine) do(req Request) (res Result) {
 			e.em.PoolInUse.Add(-1)
 		}
 	}()
+	return e.runOnLease(l, entry, req)
+}
+
+// runOnLease executes one request on an already-acquired lease.
+func (e *Engine) runOnLease(l *lease, entry *planEntry, req Request) Result {
+	cfg := req.Config
 	m := l.m
 
 	// Keys pass through uncloned: every downstream path (FTSortOpt,
@@ -425,13 +567,13 @@ func (e *Engine) do(req Request) (res Result) {
 		}
 		return Result{Keys: out, Res: r, Err: err}
 	case OpKthSmallest:
-		v, r, err := selection.KthSmallestOpt(m, plan, keys, req.K, selection.Options{Phases: e.phases})
+		v, r, err := selection.KthSmallestOpt(m, entry.plan, keys, req.K, selection.Options{Phases: e.phases})
 		return Result{Value: v, Res: r, Err: err}
 	case OpMedian:
-		v, r, err := selection.MedianOpt(m, plan, keys, selection.Options{Phases: e.phases})
+		v, r, err := selection.MedianOpt(m, entry.plan, keys, selection.Options{Phases: e.phases})
 		return Result{Value: v, Res: r, Err: err}
 	case OpTopK:
-		out, r, err := selection.TopKOpt(m, plan, keys, req.K, selection.Options{Phases: e.phases})
+		out, r, err := selection.TopKOpt(m, entry.plan, keys, req.K, selection.Options{Phases: e.phases})
 		return Result{Keys: out, Res: r, Err: err}
 	}
 	return Result{Err: fmt.Errorf("engine: unknown op %d", int(req.Op))}
@@ -442,6 +584,12 @@ func (e *Engine) do(req Request) (res Result) {
 // configuration's pool — and returns one Result per request, in order.
 // Errors are isolated per request: results[i].Err concerns reqs[i] only.
 func (e *Engine) Batch(reqs []Request) []Result {
+	return e.BatchContext(context.Background(), reqs)
+}
+
+// BatchContext is Batch with a shared context: requests still waiting
+// when ctx is done return its error (already-running requests complete).
+func (e *Engine) BatchContext(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
@@ -451,7 +599,7 @@ func (e *Engine) Batch(reqs []Request) []Result {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i] = e.Do(reqs[i])
+			out[i] = e.DoContext(ctx, reqs[i])
 		}(i)
 	}
 	wg.Wait()

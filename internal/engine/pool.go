@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"hypersort/internal/cube"
@@ -54,9 +55,14 @@ func newPool(max int, build func(prev *machine.Machine) (*machine.Machine, error
 	}
 }
 
-// acquire returns an idle lease, or creates one if the pool is below
-// its bound, or blocks until one is released.
-func (p *pool) acquire() (*lease, error) {
+// acquire returns an idle lease, or creates one if the pool is below its
+// bound, or blocks until one is released, the context is done, or stop
+// closes. An already-idle lease is always preferred, even over an
+// expired context — the caller paid the wait either way, and handing it
+// capacity is strictly more useful. ctx must be non-nil (pass
+// context.Background() to wait unconditionally); stop may be nil. A
+// stop-triggered return reports errClosed.
+func (p *pool) acquire(ctx context.Context, stop <-chan struct{}) (*lease, error) {
 	// Prefer reuse over growth when a machine is already idle.
 	select {
 	case l := <-p.idle:
@@ -73,6 +79,10 @@ func (p *pool) acquire() (*lease, error) {
 			return nil, err
 		}
 		return l, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-stop:
+		return nil, errClosed
 	}
 }
 

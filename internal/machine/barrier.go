@@ -31,12 +31,16 @@ type runBarrier interface {
 
 // useFlatBarrier routes Runs through the legacy centralized barrier; the
 // cross-substrate determinism harness flips it to pin that the combining
-// tree is observationally identical. See SetFlatBarrier.
-var useFlatBarrier bool
+// tree is observationally identical. It is atomic because test engines
+// run concurrently with the harness toggling it (SetFlatBarrier racing a
+// concurrent engine's barrierFor was a real detector finding): atomicity
+// makes the read/write well-defined, while the "no machine mid-Run when
+// toggling" rule below keeps the semantics sane.
+var useFlatBarrier atomic.Bool
 
 // SetFlatBarrier selects the legacy mutex barrier for subsequently
 // started Runs. Test-only; never toggle while a machine is mid-Run.
-func SetFlatBarrier(on bool) { useFlatBarrier = on }
+func SetFlatBarrier(on bool) { useFlatBarrier.Store(on) }
 
 // barrierArity is the combining-tree fan-in. Four keeps the tree depth at
 // log4(N) — two channel hops for a 64-node group — while each parent

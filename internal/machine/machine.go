@@ -30,7 +30,6 @@
 package machine
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -150,6 +149,11 @@ type Machine struct {
 	inGroup []bool // current run's participant set, indexed by address
 	bar     runBarrier
 	barFlat bool // which implementation bar is, so knob flips rebuild it
+	// sess is the machine's cached session scratch: a machine has at
+	// most one session open, so OpenSession hands out this one struct
+	// (with its retained stats/separator buffers) instead of allocating
+	// per fused batch.
+	sess Session
 }
 
 // node is the per-processor state. Each node's clock and counters are
@@ -321,42 +325,12 @@ func (m *Machine) Run(participants []cube.NodeID, kernel Kernel) (Result, error)
 // from the previous run on the same resource; the map is theirs again
 // only once they are done with the returned Result.
 func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map[cube.NodeID]Time) (Result, error) {
-	if m.inGroup == nil {
-		m.inGroup = make([]bool, m.h.Size())
+	if err := m.markParticipants(participants); err != nil {
+		return Result{}, err
 	}
-	// inGroup doubles as the duplicate check and Proc.InGroup's set; it
-	// must be cleared on every exit path, including validation errors.
-	defer func() {
-		for _, id := range participants {
-			if m.h.Contains(id) {
-				m.inGroup[id] = false
-			}
-		}
-	}()
-	for _, id := range participants {
-		if !m.h.Contains(id) {
-			return Result{}, fmt.Errorf("machine: participant %d outside Q_%d", id, m.cfg.Dim)
-		}
-		if m.cfg.Faults.Has(id) {
-			return Result{}, fmt.Errorf("machine: participant %d is faulty", id)
-		}
-		if m.inGroup[id] {
-			return Result{}, fmt.Errorf("machine: participant %d listed twice", id)
-		}
-		m.inGroup[id] = true
-	}
-	for _, nd := range m.nodes {
-		nd.clock = 0
-		nd.msgsSent, nd.keysSent, nd.keyHops, nd.compares, nd.recvWaits = 0, 0, 0, 0, 0
-		nd.barrierWait = 0
-		// Undelivered payloads from an aborted previous run go back to
-		// the pool: no kernel goroutine is alive to reference them.
-		for _, msg := range nd.box.reset() {
-			m.bufs.put(msg.keys)
-		}
-	}
+	defer m.unmarkParticipants(participants)
+	m.resetNodes()
 	n := len(participants)
-	m.bar = m.barrierFor(n)
 	// A machine's first run uses throwaway goroutines; persistent workers
 	// (and their teardown obligations) start paying off at the second
 	// run, so only machines that are actually reused get them. See
@@ -367,21 +341,7 @@ func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map
 		m.startWorkers()
 	}
 
-	rs := &m.rs
-	rs.nodes = m.nodes
-	rs.bar = m.bar
-	rs.aborting.Store(false)
-	if cap(rs.errs) < n {
-		rs.errs = make([]error, n)
-	} else {
-		rs.errs = rs.errs[:n]
-		clear(rs.errs)
-	}
-	if cap(m.procs) < n {
-		m.procs = make([]Proc, n)
-	} else {
-		m.procs = m.procs[:n]
-	}
+	rs := m.prepareRun(n)
 	rs.wg.Add(n)
 	for i, id := range participants {
 		p := &m.procs[i]
@@ -397,18 +357,7 @@ func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map
 	}
 	rs.wg.Wait()
 
-	// Prefer reporting the root-cause failure over the ErrAborted echoes
-	// it triggered in the other participants.
-	var firstErr error
-	for _, err := range rs.errs {
-		if err == nil {
-			continue
-		}
-		if firstErr == nil || (errors.Is(firstErr, ErrAborted) && !errors.Is(err, ErrAborted)) {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
+	if firstErr := rs.firstError(); firstErr != nil {
 		return Result{}, firstErr
 	}
 	res := Result{PerNode: perNode}
@@ -446,17 +395,91 @@ func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map
 	return res, nil
 }
 
+// markParticipants validates a participant list — every entry a healthy
+// node of the cube, no duplicates — and marks it in m.inGroup (which
+// doubles as Proc.InGroup's membership set). On error nothing stays
+// marked; on success the caller owns the marks and must clear them with
+// unmarkParticipants when the run or session ends.
+func (m *Machine) markParticipants(participants []cube.NodeID) error {
+	if m.inGroup == nil {
+		m.inGroup = make([]bool, m.h.Size())
+	}
+	for i, id := range participants {
+		var err error
+		switch {
+		case !m.h.Contains(id):
+			err = fmt.Errorf("machine: participant %d outside Q_%d", id, m.cfg.Dim)
+		case m.cfg.Faults.Has(id):
+			err = fmt.Errorf("machine: participant %d is faulty", id)
+		case m.inGroup[id]:
+			err = fmt.Errorf("machine: participant %d listed twice", id)
+		}
+		if err != nil {
+			m.unmarkParticipants(participants[:i])
+			return err
+		}
+		m.inGroup[id] = true
+	}
+	return nil
+}
+
+// unmarkParticipants clears marks set by a successful markParticipants.
+func (m *Machine) unmarkParticipants(participants []cube.NodeID) {
+	for _, id := range participants {
+		m.inGroup[id] = false
+	}
+}
+
+// prepareRun re-arms the shared run state for a run of n participants:
+// barrier, abort flag, error slots, and Proc storage, all reused across
+// runs so the steady state allocates nothing per call.
+func (m *Machine) prepareRun(n int) *runState {
+	m.bar = m.barrierFor(n)
+	rs := &m.rs
+	rs.nodes = m.nodes
+	rs.bar = m.bar
+	rs.aborting.Store(false)
+	if cap(rs.errs) < n {
+		rs.errs = make([]error, n)
+	} else {
+		rs.errs = rs.errs[:n]
+		clear(rs.errs)
+	}
+	if cap(m.procs) < n {
+		m.procs = make([]Proc, n)
+	} else {
+		m.procs = m.procs[:n]
+	}
+	return rs
+}
+
+// resetNodes clears every node's clock, counters, and mailbox for a fresh
+// run. Called with no kernel goroutines live.
+func (m *Machine) resetNodes() {
+	for _, nd := range m.nodes {
+		nd.clock = 0
+		nd.msgsSent, nd.keysSent, nd.keyHops, nd.compares, nd.recvWaits = 0, 0, 0, 0, 0
+		nd.barrierWait = 0
+		// Undelivered payloads from an aborted previous run go back to
+		// the pool: no kernel goroutine is alive to reference them.
+		for _, msg := range nd.box.reset() {
+			m.bufs.put(msg.keys)
+		}
+	}
+}
+
 // barrierFor returns the cached barrier re-armed for a run of n
 // participants, rebuilding it when the participant count or the harness's
 // substrate knob changed since the last run.
 func (m *Machine) barrierFor(n int) runBarrier {
-	if m.bar == nil || m.bar.size() != n || m.barFlat != useFlatBarrier {
-		if useFlatBarrier {
+	flat := useFlatBarrier.Load()
+	if m.bar == nil || m.bar.size() != n || m.barFlat != flat {
+		if flat {
 			m.bar = newFlatBarrier(n)
 		} else {
 			m.bar = newTreeBarrier(n)
 		}
-		m.barFlat = useFlatBarrier
+		m.barFlat = flat
 	}
 	m.bar.arm()
 	return m.bar

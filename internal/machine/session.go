@@ -1,0 +1,269 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hypersort/internal/cube"
+)
+
+// Session pins a participant group on a machine so a sequence of runs can
+// execute as one fused dispatch: participants are validated and marked
+// once at OpenSession, the persistent workers receive a single task per
+// node covering the whole kernel sequence, and the machine returns to the
+// general-purpose state only at Close. This is the execution half of the
+// engine's continuous-batching dispatcher — amortizing task handoff,
+// WaitGroup synchronization, node reset, and scheduler churn across K
+// requests instead of paying them K times.
+//
+// A Session owns its machine exclusively: no Run/RunInto and no second
+// session may execute on the machine while the session is open. Like the
+// machine itself, a Session is not safe for concurrent use.
+type Session struct {
+	m            *Machine
+	participants []cube.NodeID
+	fused        fusedState
+	open         bool
+
+	// single-run scratch for RunNext, so the convenience wrapper stays
+	// allocation-free.
+	k1  [1]Kernel
+	r1  [1]Result
+	pn1 [1]map[cube.NodeID]Time
+}
+
+// fusedState is the coordination state one fused batch shares with the
+// per-node workers: the kernel sequence, the separator WaitGroups, the
+// per-(sub-run, slot) statistics slots each worker harvests its own node
+// into, and the index of the first failed sub-run (-1 while none).
+type fusedState struct {
+	kernels []Kernel
+	n       int // participants per sub-run; stats is indexed [k*n+slot]
+	stats   []fusedNodeStats
+	failed  atomic.Int32
+	// seps[k] separates sub-run k from k+1; see separator. Reused
+	// across batches; RunBatch re-arms after the previous batch's
+	// workers have fully drained (rs.wg.Wait guarantees that).
+	seps []separator
+}
+
+// separator is one sub-run boundary of a fused batch: no worker starts
+// sub-run k+1 before every worker has harvested sub-run k. Arrival is an
+// atomic counter; departure is yield-then-park, mirroring the mailbox's
+// adaptive wait: in the dominant schedule the peers are at most one
+// scheduling round behind, so a couple of Gosched re-checks usually see
+// the counter full and skip the park/wake round trip entirely. The
+// WaitGroup is the park fallback — safe because every worker Done()s it
+// before incrementing the counter, so a worker that observed the full
+// counter finds the WaitGroup already settled, and one that didn't
+// parks until the stragglers arrive.
+//
+// A worker exiting early (its kernel failed, or it observed the run
+// abort) arrives at every remaining separator on the way out, so no
+// peer ever blocks on a dead participant.
+type separator struct {
+	arrived atomic.Int32
+	wg      sync.WaitGroup
+}
+
+// sepSpinYields bounds the yield-then-recheck loop before a separator
+// parks. Mirrors the mailbox's adaptive wait; kernels in one batch are
+// near-identical work, so peers almost always arrive within a round or
+// two of yields.
+const sepSpinYields = 2
+
+// arrive records this worker at the separator (park-fallback WaitGroup
+// first, then the counter — the order the spin in pass relies on).
+func (sep *separator) arrive() {
+	sep.wg.Done()
+	sep.arrived.Add(1)
+}
+
+// pass blocks until all n workers have arrived.
+func (sep *separator) pass(n int) {
+	for i := 0; i < sepSpinYields; i++ {
+		if sep.arrived.Load() == int32(n) {
+			return
+		}
+		runtime.Gosched()
+	}
+	if sep.arrived.Load() != int32(n) {
+		sep.wg.Wait()
+	}
+}
+
+// fusedNodeStats is one node's counters for one fused sub-run, harvested
+// by the node's own worker at sub-run completion (the aggregation loop
+// reads them only after the run's WaitGroup has settled).
+type fusedNodeStats struct {
+	clock                                   Time
+	msgs, keys, hops, comps, waits, barrier int64
+}
+
+// OpenSession validates and pins participants for a fused sequence of
+// runs, returning the session handle. The participant rules are Run's:
+// every entry a healthy node of the cube, no duplicates. Sessions always
+// execute on the persistent workers — they exist to amortize, so even a
+// machine that has never run gets its worker pool here.
+//
+// The caller must Close the session before using the machine for
+// anything else.
+//
+// The returned handle is the machine's cached session scratch — a
+// machine can have at most one session open, so OpenSession recycles one
+// Session (and its statistics and separator buffers) across the
+// machine's lifetime instead of allocating per batch. Consequently a
+// handle from a previous, closed session aliases the new one: use the
+// handle OpenSession returned, not a stale one.
+func (m *Machine) OpenSession(participants []cube.NodeID) (*Session, error) {
+	if err := m.markParticipants(participants); err != nil {
+		return nil, err
+	}
+	m.ranOnce = true
+	m.startWorkers()
+	s := &m.sess
+	s.m = m
+	s.participants = participants
+	s.open = true
+	return s, nil
+}
+
+// RunNext executes a single kernel within the session — one sub-run of a
+// fused sequence of length one. perNode follows RunInto's contract: if
+// non-nil it is cleared, filled, and installed as Result.PerNode.
+func (s *Session) RunNext(kernel Kernel, perNode map[cube.NodeID]Time) (Result, error) {
+	s.k1[0] = kernel
+	s.pn1[0] = perNode
+	_, err := s.RunBatch(s.k1[:], s.r1[:], s.pn1[:])
+	s.k1[0], s.pn1[0] = nil, nil
+	return s.r1[0], err
+}
+
+// RunBatch executes kernels back-to-back as one fused dispatch: a single
+// task per node, a single WaitGroup round-trip, with lightweight
+// WaitGroup separators between the sub-runs. Each kernel is an independent virtual-time
+// run — clocks and counters restart at zero — and its Result (written
+// into into[k]) is identical to what a standalone Run of that kernel on
+// this participant group would report.
+//
+// completed is the number of leading sub-runs that finished: on success
+// it is len(kernels) and err is nil; if sub-run k fails, completed is k,
+// into[0:k] hold valid Results, and err is the failing kernel's error
+// (sub-runs k+1... are never attempted). perNode may be nil or shorter
+// than kernels; entry k, when present and non-nil, is recycled into
+// into[k].PerNode per RunInto's contract.
+func (s *Session) RunBatch(kernels []Kernel, into []Result, perNode []map[cube.NodeID]Time) (completed int, err error) {
+	if !s.open {
+		return 0, fmt.Errorf("machine: RunBatch on a closed session")
+	}
+	if len(kernels) == 0 {
+		return 0, nil
+	}
+	if len(into) < len(kernels) {
+		return 0, fmt.Errorf("machine: RunBatch needs %d result slots, got %d", len(kernels), len(into))
+	}
+	m := s.m
+	n := len(s.participants)
+	m.resetNodes()
+	rs := m.prepareRun(n)
+
+	fs := &s.fused
+	fs.kernels = kernels
+	fs.n = n
+	if need := len(kernels) * n; cap(fs.stats) < need {
+		fs.stats = make([]fusedNodeStats, need)
+	} else {
+		fs.stats = fs.stats[:need]
+	}
+	fs.failed.Store(-1)
+	if nseps := len(kernels) - 1; cap(fs.seps) < nseps {
+		fs.seps = make([]separator, nseps)
+	} else {
+		fs.seps = fs.seps[:nseps]
+	}
+	for k := range fs.seps {
+		fs.seps[k].arrived.Store(0)
+		fs.seps[k].wg.Add(n)
+	}
+
+	rs.wg.Add(n)
+	for i, id := range s.participants {
+		p := &m.procs[i]
+		*p = Proc{m: m, nd: m.nodes[id], slot: i}
+		// The worker consumed its previous task before its wg.Done, so
+		// this buffered send never blocks.
+		m.nodes[id].work <- runTask{fused: fs, proc: p, slot: i, rs: rs}
+	}
+	rs.wg.Wait()
+
+	firstErr := rs.firstError()
+	completed = len(kernels)
+	if firstErr != nil {
+		completed = int(fs.failed.Load())
+		if completed < 0 {
+			completed = 0
+		}
+	}
+	for k := 0; k < completed; k++ {
+		var buf map[cube.NodeID]Time
+		if k < len(perNode) {
+			buf = perNode[k]
+		}
+		into[k] = s.aggregate(k, buf)
+	}
+	fs.kernels = nil // drop kernel closures; stats scratch is retained
+	return completed, firstErr
+}
+
+// aggregate folds sub-run k's harvested per-node statistics into a
+// Result, reusing perNode as the PerNode map when non-nil, and flushes
+// the machine's metrics bundle exactly as a standalone run would.
+func (s *Session) aggregate(k int, perNode map[cube.NodeID]Time) Result {
+	fs := &s.fused
+	res := Result{PerNode: perNode}
+	if res.PerNode == nil {
+		res.PerNode = make(map[cube.NodeID]Time, fs.n)
+	} else {
+		clear(res.PerNode)
+	}
+	var barrierWait int64
+	base := k * fs.n
+	for i, id := range s.participants {
+		st := &fs.stats[base+i]
+		if st.clock > res.Makespan {
+			res.Makespan = st.clock
+		}
+		res.Messages += st.msgs
+		res.KeysSent += st.keys
+		res.KeyHops += st.hops
+		res.Comparisons += st.comps
+		res.RecvWaits += st.waits
+		barrierWait += st.barrier
+		res.PerNode[id] = st.clock
+	}
+	if mm := s.m.cfg.Metrics; mm != nil {
+		mm.Runs.Inc()
+		mm.Messages.Add(res.Messages)
+		mm.KeysSent.Add(res.KeysSent)
+		mm.KeyHops.Add(res.KeyHops)
+		mm.Comparisons.Add(res.Comparisons)
+		mm.RecvWaits.Add(res.RecvWaits)
+		mm.BarrierVTime.Add(barrierWait)
+		mm.Makespan.Observe(int64(res.Makespan))
+	}
+	return res
+}
+
+// Close releases the session's participant marks, returning the machine
+// to the general-purpose state. The machine remains usable for Run and
+// further sessions. Close is idempotent; the persistent workers stay hot
+// (retire them with Machine.Close).
+func (s *Session) Close() {
+	if !s.open {
+		return
+	}
+	s.m.unmarkParticipants(s.participants)
+	s.open = false
+}

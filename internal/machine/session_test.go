@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/sortutil"
+)
+
+// sessionKernel builds a deterministic exchange-and-compute kernel
+// parameterized by a per-request seed, so fused sub-runs in a batch are
+// distinguishable in their Results.
+func sessionKernel(seed int) Kernel {
+	return func(p *Proc) error {
+		for r := 0; r < 3; r++ {
+			partner := p.ID() ^ cube.NodeID(1<<uint(r%p.Dim()))
+			if !p.InGroup(partner) {
+				p.Compute(seed + 1)
+				continue
+			}
+			got := p.Exchange(partner, Tag(r), []sortutil.Key{sortutil.Key(p.ID()), sortutil.Key(seed + r)})
+			p.Compute(len(got) + seed)
+			p.Release(got)
+		}
+		return nil
+	}
+}
+
+// sameDeterministicResult compares the host-scheduling-independent parts
+// of two Results: everything except RecvWaits, which counts real
+// blocking and legitimately varies run to run.
+func sameDeterministicResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Makespan != want.Makespan || got.Messages != want.Messages ||
+		got.KeysSent != want.KeysSent || got.KeyHops != want.KeyHops ||
+		got.Comparisons != want.Comparisons {
+		t.Errorf("%s: stats differ: got %+v want %+v", label, got, want)
+	}
+	if len(got.PerNode) != len(want.PerNode) {
+		t.Fatalf("%s: PerNode size %d != %d", label, len(got.PerNode), len(want.PerNode))
+	}
+	for id, c := range want.PerNode {
+		if got.PerNode[id] != c {
+			t.Errorf("%s: PerNode[%d] = %d, want %d", label, id, got.PerNode[id], c)
+		}
+	}
+}
+
+func TestSessionRunBatchMatchesIndividualRuns(t *testing.T) {
+	cfg := Config{Dim: 3, Faults: cube.NewNodeSet(5), Cost: DefaultCostModel()}
+	ref := MustNew(cfg)
+	defer ref.Close()
+	fused := ref.Clone()
+	defer fused.Close()
+	parts := ref.Healthy()
+
+	const K = 4
+	kernels := make([]Kernel, K)
+	want := make([]Result, K)
+	for j := range kernels {
+		kernels[j] = sessionKernel(j)
+		res, err := ref.Run(parts, kernels[j])
+		if err != nil {
+			t.Fatalf("individual run %d: %v", j, err)
+		}
+		want[j] = res
+	}
+
+	s, err := fused.OpenSession(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := make([]Result, K)
+	completed, err := s.RunBatch(kernels, got, nil)
+	if err != nil || completed != K {
+		t.Fatalf("RunBatch = %d, %v", completed, err)
+	}
+	for j := range got {
+		sameDeterministicResult(t, fmt.Sprintf("sub-run %d", j), got[j], want[j])
+	}
+
+	// A second batch on the same session must be just as clean.
+	completed, err = s.RunBatch(kernels[:2], got[:2], nil)
+	if err != nil || completed != 2 {
+		t.Fatalf("second RunBatch = %d, %v", completed, err)
+	}
+	sameDeterministicResult(t, "second batch sub-run 1", got[1], want[1])
+}
+
+func TestSessionRunNextMatchesRun(t *testing.T) {
+	m := MustNew(Config{Dim: 2})
+	defer m.Close()
+	want, err := m.Run(m.Healthy(), sessionKernel(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.OpenSession(m.Healthy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(map[cube.NodeID]Time)
+	got, err := s.RunNext(sessionKernel(7), buf)
+	s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDeterministicResult(t, "RunNext", got, want)
+	if len(buf) == 0 {
+		t.Error("caller-provided PerNode buffer was not used")
+	}
+}
+
+func TestSessionFailureAbortsBatchAndMachineRecovers(t *testing.T) {
+	m := MustNew(Config{Dim: 3})
+	defer m.Close()
+	parts := m.Healthy()
+	boom := errors.New("kernel boom")
+	kernels := []Kernel{
+		sessionKernel(0),
+		func(p *Proc) error {
+			if p.ID() == 3 {
+				return boom
+			}
+			return sessionKernel(1)(p)
+		},
+		sessionKernel(2),
+	}
+	s, err := m.OpenSession(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Result, len(kernels))
+	completed, err := s.RunBatch(kernels, got, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the kernel's error", err)
+	}
+	if completed != 1 {
+		t.Fatalf("completed = %d, want 1 (sub-run 0 finished before the failure)", completed)
+	}
+	if got[0].PerNode == nil || got[0].Makespan == 0 {
+		t.Errorf("sub-run 0 result not aggregated: %+v", got[0])
+	}
+	s.Close()
+
+	// The machine must be fully usable after an aborted batch.
+	if _, err := m.Run(parts, sessionKernel(0)); err != nil {
+		t.Fatalf("Run after aborted batch: %v", err)
+	}
+}
+
+func TestSessionLifecycleAndValidation(t *testing.T) {
+	m := MustNew(Config{Dim: 2, Faults: cube.NewNodeSet(2)})
+	defer m.Close()
+
+	if _, err := m.OpenSession([]cube.NodeID{2}); err == nil || !strings.Contains(err.Error(), "faulty") {
+		t.Errorf("faulty participant accepted: %v", err)
+	}
+	if _, err := m.OpenSession([]cube.NodeID{1, 1}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate participant accepted: %v", err)
+	}
+
+	s, err := m.OpenSession([]cube.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the session pins its group, a Run naming a pinned node must
+	// be rejected (the machine is exclusively leased to the session).
+	if _, err := m.Run([]cube.NodeID{0}, sessionKernel(0)); err == nil {
+		t.Error("Run on a session-pinned participant accepted")
+	}
+	var res [1]Result
+	if n, err := s.RunBatch(nil, res[:], nil); n != 0 || err != nil {
+		t.Errorf("empty batch = %d, %v", n, err)
+	}
+	if _, err := s.RunBatch(make([]Kernel, 2), res[:], nil); err == nil {
+		t.Error("short result slice accepted")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.RunBatch(make([]Kernel, 1), res[:], nil); err == nil {
+		t.Error("RunBatch on closed session accepted")
+	}
+	// After Close the group is released.
+	if _, err := m.Run([]cube.NodeID{0, 1}, sessionKernel(0)); err != nil {
+		t.Errorf("Run after session close: %v", err)
+	}
+}

@@ -84,6 +84,30 @@ type EngineMetrics struct {
 	Latency *Histogram
 	// PoolInUse gauges machines currently leased to in-flight requests.
 	PoolInUse *Gauge
+
+	// Continuous-batching dispatcher instruments.
+
+	// FusedBatches counts fused dispatches (one machine lease each);
+	// FusedRequests counts the requests they carried. The ratio is the
+	// mean coalescing factor — FusedRequests > FusedBatches means the
+	// dispatcher actually amortized lease/handoff cost.
+	FusedBatches  *Counter
+	FusedRequests *Counter
+	// AdmissionRejected counts requests refused because their lane's
+	// bounded admission queue was full (the caller saw
+	// ErrAdmissionRejected); Cancelled counts requests whose context was
+	// cancelled while they waited in a queue.
+	AdmissionRejected *Counter
+	Cancelled         *Counter
+	// QueueDepth gauges requests currently waiting in dispatch lanes
+	// (admitted but not yet claimed by a fused batch).
+	QueueDepth *Gauge
+	// QueueWait is the distribution of nanoseconds a request spent
+	// waiting for execution capacity: lane-queue wait for batched
+	// requests, machine-pool acquire wait for direct-path requests.
+	QueueWait *Histogram
+	// BatchSize is the distribution of requests per fused dispatch.
+	BatchSize *Histogram
 }
 
 // NewEngineMetrics registers the engine bundle in r. Idempotent.
@@ -105,5 +129,19 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Wall-clock request latency in nanoseconds, including machine-pool queueing."),
 		PoolInUse: r.Gauge("hypersort_engine_pool_in_use",
 			"Simulated machines currently leased to in-flight requests."),
+		FusedBatches: r.Counter("hypersort_engine_fused_batches_total",
+			"Fused dispatches executed by the continuous-batching dispatcher (one machine lease each)."),
+		FusedRequests: r.Counter("hypersort_engine_fused_requests_total",
+			"Requests executed inside fused dispatches (ratio to fused batches = mean coalescing factor)."),
+		AdmissionRejected: r.Counter("hypersort_engine_admission_rejected_total",
+			"Requests refused because a dispatch lane's bounded admission queue was full."),
+		Cancelled: r.Counter("hypersort_engine_cancelled_total",
+			"Requests whose context was cancelled while waiting in a queue."),
+		QueueDepth: r.Gauge("hypersort_engine_queue_depth",
+			"Requests currently waiting in dispatch lanes (admitted, not yet claimed by a batch)."),
+		QueueWait: r.Histogram("hypersort_engine_queue_wait_ns",
+			"Nanoseconds a request waited for execution capacity (lane queue or machine-pool acquire)."),
+		BatchSize: r.Histogram("hypersort_engine_batch_size",
+			"Requests per fused dispatch."),
 	}
 }

@@ -88,6 +88,35 @@ func boundOf(i int) int64 {
 	return int64(1) << uint(i)
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]): the inclusive upper bound of the bucket containing the q-th
+// observation, i.e. the estimate is within a factor of two of the true
+// value, matching the bucket geometry. Returns 0 when the histogram is
+// empty. Like snapshot, the read is not atomic across buckets.
+func (h *Histogram) Quantile(q float64) int64 {
+	count, _, rows := h.snapshot()
+	if count == 0 || len(rows) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	cum := int64(0)
+	for _, row := range rows {
+		cum += row.count
+		if rank < cum {
+			return row.le
+		}
+	}
+	return rows[len(rows)-1].le
+}
+
 // writePrometheus renders the histogram as the conventional trio:
 // cumulative _bucket{le="..."} series (only non-empty bounds plus +Inf),
 // _sum, and _count.

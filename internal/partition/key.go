@@ -1,9 +1,8 @@
 package partition
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"slices"
+	"strconv"
 
 	"hypersort/internal/cube"
 )
@@ -31,42 +30,65 @@ type PlanKey string
 // validation belongs to the plan and machine constructors. On the set of
 // valid configurations the mapping is injective (see FuzzPlanKey).
 func KeyFor(dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) PlanKey {
-	fs := cube.NewNodeSet(faults...).Sorted()
+	return PlanKey(AppendKey(nil, dim, faults, links, model))
+}
 
+// AppendKey appends KeyFor's canonical fingerprint bytes to dst and
+// returns the extended slice, KeyFor with caller-controlled allocation:
+// request paths that fingerprint a configuration per call build the key
+// in a pooled buffer and intern the durable string once, instead of
+// paying the string construction on every lookup. For typical fault
+// counts the canonicalization scratch lives on the stack.
+func AppendKey(dst []byte, dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) []byte {
+	dst = append(dst, 'n')
+	dst = strconv.AppendInt(dst, int64(dim), 10)
+	dst = append(dst, "|md"...)
+	dst = strconv.AppendInt(dst, int64(model), 10)
+	dst = append(dst, "|f"...)
+
+	var fstack [32]cube.NodeID
+	fs := fstack[:0]
+	if len(faults) > cap(fs) {
+		fs = make([]cube.NodeID, 0, len(faults))
+	}
+	fs = append(fs, faults...)
+	slices.Sort(fs)
+	fs = slices.Compact(fs)
+	for i, f := range fs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(f), 10)
+	}
+
+	dst = append(dst, "|l"...)
 	type edge struct{ a, b cube.NodeID }
-	seen := make(map[edge]bool, len(links))
-	es := make([]edge, 0, len(links))
+	var estack [16]edge
+	es := estack[:0]
+	if len(links) > cap(es) {
+		es = make([]edge, 0, len(links))
+	}
 	for _, pair := range links {
 		e := edge{pair[0], pair[1]}
 		if e.a > e.b {
 			e.a, e.b = e.b, e.a
 		}
-		if !seen[e] {
-			seen[e] = true
-			es = append(es, e)
-		}
+		es = append(es, e)
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].a != es[j].a {
-			return es[i].a < es[j].a
+	slices.SortFunc(es, func(x, y edge) int {
+		if x.a != y.a {
+			return int(x.a) - int(y.a)
 		}
-		return es[i].b < es[j].b
+		return int(x.b) - int(y.b)
 	})
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "n%d|md%d|f", dim, model)
-	for i, f := range fs {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", f)
-	}
-	b.WriteString("|l")
+	es = slices.Compact(es)
 	for i, e := range es {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(&b, "%d-%d", e.a, e.b)
+		dst = strconv.AppendInt(dst, int64(e.a), 10)
+		dst = append(dst, '-')
+		dst = strconv.AppendInt(dst, int64(e.b), 10)
 	}
-	return PlanKey(b.String())
+	return dst
 }

@@ -117,27 +117,46 @@ func fillUniform(xs []sortutil.Key, r *xrand.RNG) {
 // have equal length; share i receives the keys [i*q, (i+1)*q) where q is
 // the padded share size.
 func Distribute(keys []sortutil.Key, p int) ([][]sortutil.Key, error) {
+	_, shares, err := DistributeInto(nil, nil, keys, p)
+	return shares, err
+}
+
+// DistributeInto is Distribute with caller-controlled allocation: the
+// shares are carved from backing and the share headers written into
+// shares, both grown only when too small. The returned backing and
+// shares must replace the caller's (they may have been reallocated).
+// Serving paths that redistribute fresh keys over the same processor
+// count on every request reuse one arena instead of allocating two
+// objects per call.
+func DistributeInto(backing []sortutil.Key, shares [][]sortutil.Key, keys []sortutil.Key, p int) ([]sortutil.Key, [][]sortutil.Key, error) {
 	if p <= 0 {
-		return nil, fmt.Errorf("workload: cannot distribute over %d processors", p)
+		return backing, shares, fmt.Errorf("workload: cannot distribute over %d processors", p)
 	}
 	q := (len(keys) + p - 1) / p
 	if q == 0 {
 		q = 1 // every processor holds at least one (dummy) slot
 	}
-	// One backing array for all shares: the shares are freshly owned by
-	// the caller (kernels mutate them in place), and full slice
-	// expressions keep an append on one share from bleeding into the
-	// next.
-	backing := make([]sortutil.Key, p*q)
+	// One backing array for all shares: the shares are owned by the
+	// caller (kernels mutate them in place), and full slice expressions
+	// keep an append on one share from bleeding into the next.
+	if cap(backing) < p*q {
+		backing = make([]sortutil.Key, p*q)
+	} else {
+		backing = backing[:p*q]
+	}
 	n := copy(backing, keys)
 	for i := n; i < len(backing); i++ {
 		backing[i] = sortutil.Inf
 	}
-	shares := make([][]sortutil.Key, p)
+	if cap(shares) < p {
+		shares = make([][]sortutil.Key, p)
+	} else {
+		shares = shares[:p]
+	}
 	for i := 0; i < p; i++ {
 		shares[i] = backing[i*q : (i+1)*q : (i+1)*q]
 	}
-	return shares, nil
+	return backing, shares, nil
 }
 
 // Gather concatenates shares back into one slice (the inverse of
