@@ -18,8 +18,10 @@ import (
 // conformance tests can drive the exact production handler set through
 // httptest. ring may be nil (tracing disabled): /v1/trace then returns
 // an empty trace document rather than an error, so dashboards poll it
-// safely either way.
-func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
+// safely either way. chaos gates the fault-injection endpoints (off by
+// default — arming kills against production traffic is a drill, not a
+// service feature).
+func newMux(eng *hypersort.Engine, ring *trace.Ring, chaos bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -118,6 +120,45 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	})
+	if chaos {
+		// Chaos drill endpoints: arm a scheduled casualty against a
+		// configuration's machine pool, or stand the drill down. A sort
+		// hit by an armed kill recovers in-flight (diagnose, replan,
+		// redistribute) and still answers 200 with sorted keys; the
+		// recovery instruments land on /metrics.
+		mux.HandleFunc("/v1/chaos/inject", func(w http.ResponseWriter, r *http.Request) {
+			var wi wireInjection
+			if !readJSON(w, r, &wi) {
+				return
+			}
+			cfg, inj, err := wi.toInjection()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := eng.InjectFault(cfg, inj); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"status": "armed"})
+		})
+		mux.HandleFunc("/v1/chaos/disarm", func(w http.ResponseWriter, r *http.Request) {
+			var wr wireRequest
+			if !readJSON(w, r, &wr) {
+				return
+			}
+			cfg, err := wr.toConfig()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := eng.DisarmFaults(cfg); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"status": "disarmed"})
+		})
+	}
 	return mux
 }
 
@@ -147,9 +188,9 @@ type wireRequest struct {
 	Keys       []int64    `json:"keys"`
 }
 
-// toRequest converts the wire form into a library request, rejecting
-// unknown enum strings.
-func (wr wireRequest) toRequest() (hypersort.Request, error) {
+// toConfig converts the wire form's configuration fields, rejecting
+// unknown fault-model strings.
+func (wr wireRequest) toConfig() (hypersort.Config, error) {
 	cfg := hypersort.Config{Dim: wr.Dim}
 	for _, f := range wr.Faults {
 		cfg.Faults = append(cfg.Faults, hypersort.NodeID(f))
@@ -163,7 +204,17 @@ func (wr wireRequest) toRequest() (hypersort.Request, error) {
 	case "total":
 		cfg.Model = hypersort.Total
 	default:
-		return hypersort.Request{}, fmt.Errorf("unknown fault model %q", wr.Model)
+		return hypersort.Config{}, fmt.Errorf("unknown fault model %q", wr.Model)
+	}
+	return cfg, nil
+}
+
+// toRequest converts the wire form into a library request, rejecting
+// unknown enum strings.
+func (wr wireRequest) toRequest() (hypersort.Request, error) {
+	cfg, err := wr.toConfig()
+	if err != nil {
+		return hypersort.Request{}, err
 	}
 	var op hypersort.Op
 	switch wr.Op {
@@ -183,6 +234,41 @@ func (wr wireRequest) toRequest() (hypersort.Request, error) {
 		keys[i] = hypersort.Key(k)
 	}
 	return hypersort.Request{Config: cfg, Op: op, Keys: keys, K: wr.K}, nil
+}
+
+// wireInjection is the JSON shape of one chaos-drill casualty: the
+// target configuration (same fields as a sort request) plus exactly one
+// of kill_node / kill_link, triggered at virtual time "at" or — nodes
+// only — after the victim's "after_messages"-th send.
+type wireInjection struct {
+	wireRequest
+	KillNode      *int64    `json:"kill_node,omitempty"`
+	KillLink      *[2]int64 `json:"kill_link,omitempty"`
+	At            int64     `json:"at,omitempty"`
+	AfterMessages int64     `json:"after_messages,omitempty"`
+}
+
+// toInjection converts the wire form into the target configuration and
+// the scheduled casualty.
+func (wi wireInjection) toInjection() (hypersort.Config, hypersort.Injection, error) {
+	cfg, err := wi.toConfig()
+	if err != nil {
+		return hypersort.Config{}, hypersort.Injection{}, err
+	}
+	inj := hypersort.Injection{At: hypersort.Time(wi.At), AfterMessages: wi.AfterMessages}
+	switch {
+	case wi.KillNode != nil && wi.KillLink != nil:
+		return hypersort.Config{}, hypersort.Injection{}, fmt.Errorf("kill_node and kill_link are mutually exclusive")
+	case wi.KillNode != nil:
+		inj.Kind = hypersort.KillNode
+		inj.Node = hypersort.NodeID(*wi.KillNode)
+	case wi.KillLink != nil:
+		inj.Kind = hypersort.KillLink
+		inj.Link = [2]hypersort.NodeID{hypersort.NodeID(wi.KillLink[0]), hypersort.NodeID(wi.KillLink[1])}
+	default:
+		return hypersort.Config{}, hypersort.Injection{}, fmt.Errorf("one of kill_node or kill_link is required")
+	}
+	return cfg, inj, nil
 }
 
 // wireResult is the JSON shape of one outcome.

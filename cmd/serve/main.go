@@ -27,6 +27,17 @@
 //	GET  /debug/pprof/  live profiling (heap, allocs, goroutine, profile)
 //	GET  /healthz
 //
+// With -chaos, two drill endpoints arm live casualties against a
+// configuration's machine pool (see DESIGN.md §9):
+//
+//	POST /v1/chaos/inject  {"dim":4,"kill_node":5,"at":120} or
+//	                       {"dim":4,"kill_link":[0,1],"after_messages":7}
+//	POST /v1/chaos/disarm  {"dim":4} — stand the drill down
+//
+// Sorts struck by an armed kill recover in-flight — online diagnosis,
+// hot replan, key redistribution — and still answer 200 with the sorted
+// keys; recovery latency and replan counters land on /metrics.
+//
 // See OBSERVABILITY.md for the full metric and trace reference.
 //
 // The -demo flag skips the network entirely and measures batch
@@ -65,6 +76,7 @@ func main() {
 		admission   = flag.Int("admission-queue", 0, "queued sorts allowed per configuration before 503s (0 = default)")
 		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 of every N machine events")
+		chaos       = flag.Bool("chaos", false, "enable the /v1/chaos fault-injection endpoints (live-fault drills)")
 		demo        = flag.Bool("demo", false, "run the offline batch-throughput demo and exit")
 		requests    = flag.Int("requests", 256, "demo: number of requests")
 		m           = flag.Int("m", 4000, "demo: keys per request")
@@ -98,7 +110,7 @@ func main() {
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// requests, then retires the engine's pooled worker goroutines — the
 	// teardown half of the persistent-worker substrate.
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng, ring)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng, ring, *chaos)}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *hypersort.Engine) {
 	t.Helper()
 	ring := trace.NewRing(4096, 1)
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 2, BatchWorkers: 2, Trace: ring.Record})
-	srv := httptest.NewServer(newMux(eng, ring))
+	srv := httptest.NewServer(newMux(eng, ring, true))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -323,7 +323,7 @@ func TestServeStatusMapping(t *testing.T) {
 func TestServeBatchedSortsCoalesce(t *testing.T) {
 	ring := trace.NewRing(1024, 1)
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 1, BatchWorkers: 16, Trace: ring.Record, MaxLinger: 2 * time.Millisecond})
-	srv := httptest.NewServer(newMux(eng, ring))
+	srv := httptest.NewServer(newMux(eng, ring, true))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -368,4 +368,112 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestServeChaosInjectRecovers is the acceptance path end to end over
+// HTTP: arm a mid-run processor kill through /v1/chaos/inject, drive a
+// sort that the casualty strikes, and require a 200 with the fully
+// sorted keys — the engine diagnosed, replanned, and redistributed
+// in-flight. The recovery instruments must then be visible on /metrics.
+func TestServeChaosInjectRecovers(t *testing.T) {
+	srv, eng := newTestServer(t)
+
+	inject := `{"dim":4,"kill_node":5,"at":1}`
+	resp, err := http.Post(srv.URL+"/v1/chaos/inject", "application/json", strings.NewReader(inject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inject status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/sort", "application/json", strings.NewReader(sortBody(4, nil, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sort under injection: status %d", resp.StatusCode)
+	}
+	var res wireResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != "" {
+		t.Fatalf("sort under injection failed: %s", res.Err)
+	}
+	if len(res.Keys) != 200 {
+		t.Fatalf("got %d keys, want 200", len(res.Keys))
+	}
+	for i := 1; i < len(res.Keys); i++ {
+		if res.Keys[i-1] > res.Keys[i] {
+			t.Fatalf("recovered output unsorted at %d", i)
+		}
+	}
+	if m := eng.Metrics(); m.Replans < 1 {
+		t.Fatalf("Replans = %d, want >= 1", m.Replans)
+	}
+
+	// The recovery-latency histogram must be non-empty on the scrape
+	// endpoint.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "hypersort_engine_recovery_latency_ns_count "); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				t.Fatalf("recovery latency count = %q", v)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hypersort_engine_recovery_latency_ns_count missing from /metrics")
+	}
+
+	// Stand the drill down; a fresh sort must run clean.
+	resp, err = http.Post(srv.URL+"/v1/chaos/disarm", "application/json", strings.NewReader(`{"dim":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarm status %d", resp.StatusCode)
+	}
+}
+
+// TestServeChaosInjectValidation pins the endpoint's error contract:
+// malformed casualties answer 400, unservable configurations 422.
+func TestServeChaosInjectValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{"dim":4}`, http.StatusBadRequest},                                  // no casualty
+		{`{"dim":4,"kill_node":1,"kill_link":[0,1]}`, http.StatusBadRequest},  // both casualties
+		{`{"dim":4,"model":"bogus","kill_node":1}`, http.StatusBadRequest},    // bad enum
+		{`{"dim":40,"kill_node":1}`, http.StatusUnprocessableEntity},          // dimension out of range
+		{`{"dim":3,"kill_link":[0,3]}`, http.StatusUnprocessableEntity},       // not a hypercube edge
+		{`{"dim":3,"faults":[2],"kill_node":2}`, http.StatusUnprocessableEntity}, // victim already faulty
+	}
+	for i, c := range cases {
+		resp, err := http.Post(srv.URL+"/v1/chaos/inject", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d (%s): status %d, want %d", i, c.body, resp.StatusCode, c.status)
+		}
+	}
 }

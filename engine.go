@@ -59,6 +59,36 @@ type EngineConfig struct {
 // retry with backoff. cmd/serve maps it to HTTP 503.
 var ErrAdmissionRejected = engine.ErrAdmissionRejected
 
+// ErrUnrecoverable is found (via errors.Is) in a Result.Err or Sort
+// error when a live fault injected mid-run left the configuration beyond
+// repair: the degraded fault set no longer admits a single-fault
+// partition, so the engine failed fast instead of hanging or
+// mis-sorting. Within the paper's guarantee band (at most Dim-1
+// processor faults in total) it is never reported.
+var ErrUnrecoverable = engine.ErrUnrecoverable
+
+// Injection is one scheduled live fault for InjectFault: a processor or
+// link killed at a virtual time (or on the victim's Nth send) while sort
+// kernels are running. See the field docs for trigger semantics.
+type Injection = machine.Injection
+
+// InjectionKind selects what an Injection destroys.
+type InjectionKind = machine.InjectionKind
+
+// Injection kinds: kill a processor, or sever one hypercube edge.
+const (
+	KillNode = machine.KillNode
+	KillLink = machine.KillLink
+)
+
+// ProcessorDiedError reports (via errors.As) a processor killed by a
+// fired injection; recovery normally absorbs it, so callers see it only
+// when replanning was impossible or injections fired beyond repair.
+type ProcessorDiedError = machine.ProcessorDiedError
+
+// LinkDiedError is ProcessorDiedError's link-casualty counterpart.
+type LinkDiedError = machine.LinkDiedError
+
 // Engine is a concurrent, reusable front end to the fault-tolerant
 // sorter, built for serving many requests against a recurring set of
 // configurations. Unlike Sorter it is safe for arbitrary concurrent use:
@@ -171,6 +201,35 @@ func (e *Engine) Partition(cfg Config) (Partition, error) {
 		return Partition{}, err
 	}
 	return partitionInfo(plan), nil
+}
+
+// InjectFault arms live fault injections against cfg's machine pool: the
+// scheduled casualties strike runs of that configuration mid-kernel. The
+// engine then recovers on its own — online diagnosis converges on the
+// new fault set, the request replans through the plan cache, and the
+// keys are redistributed over the surviving processors — so a Sort
+// overlapping the casualty still returns the correctly sorted keys
+// (or ErrUnrecoverable when the degraded machine admits no plan).
+// Recovery activity is visible in Metrics and on /metrics
+// (hypersort_engine_replans_total, hypersort_engine_recovery_latency_ns,
+// ...). Chaos drills and tests are the intended callers.
+func (e *Engine) InjectFault(cfg Config, injs ...Injection) error {
+	ecfg, err := engineConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return e.eng.InjectFault(ecfg, injs...)
+}
+
+// DisarmFaults clears cfg's injection schedule, fired casualties
+// included: the pool serves the configuration at full health again. Call
+// only with no request in flight on the configuration.
+func (e *Engine) DisarmFaults(cfg Config) error {
+	ecfg, err := engineConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return e.eng.DisarmFaults(ecfg)
 }
 
 // Sort sorts keys ascending on the configured faulty hypercube, reusing

@@ -1,0 +1,122 @@
+package diagnosis
+
+// Online diagnosis: the live-fault counterpart of Collect. Collect
+// simulates an off-line test round against a fault set the host already
+// knows; OnlineRound instead runs a real SPMD probe kernel on a machine
+// that just suffered injected casualties, so the *surviving processors
+// themselves* build the syndrome — each node tests its n neighbors with
+// a one-key probe exchange and records pass/fail in its own syndrome row
+// — and the host decodes it with the same Diagnose used for the static
+// model. The probe round costs virtual time like any kernel, which is
+// how recovery latency gets a principled simulated component.
+
+import (
+	"fmt"
+	"maps"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/xrand"
+)
+
+// probeTagBase offsets probe tags from kernel tags; probes use tag
+// probeTagBase+d for the dimension-d exchange.
+const probeTagBase machine.Tag = 0x7D00
+
+// OnlineResult is one online diagnosis round's outcome.
+type OnlineResult struct {
+	// Faults is the agreed processor fault set: configured faults plus
+	// the newly diagnosed casualties.
+	Faults cube.NodeSet
+	// NewLinks lists links that died since the machine was configured
+	// (fired KillLink injections). PMC syndromes cannot express link
+	// faults, so these are sender-identified rather than decoded.
+	NewLinks [][2]cube.NodeID
+	// RoundTime is the probe round's virtual makespan — the simulated
+	// cost of diagnosis, one component of recovery latency.
+	RoundTime machine.Time
+	// Confirmed reports whether the PMC syndrome decode succeeded and
+	// agreed with the survivors' observations. False means the round fell
+	// back to the sender-identified fault set: link casualties or a fault
+	// count beyond one-step diagnosability, both outside the PMC model.
+	Confirmed bool
+}
+
+// OnlineRound runs one neighbor-test round on m's surviving processors
+// and decodes the resulting syndrome. Survivors probe every neighbor
+// with a one-key exchange; a dead neighbor or severed link fails the
+// test. Rows of dead processors are filled with deterministic adversarial
+// bits from seed (the PMC model's arbitrary verdicts), so the same seed
+// reproduces the same round bit for bit.
+//
+// The decode is attempted only inside the PMC model's jurisdiction — no
+// dead links and at most dim processor faults; outside it the round
+// still measures its virtual time but reports the sender-identified
+// fault set with Confirmed=false.
+func OnlineRound(m *machine.Machine, seed uint64) (OnlineResult, error) {
+	h := m.Cube()
+	n := h.Dim()
+	survivors := m.Survivors()
+	if len(survivors) == 0 {
+		return OnlineResult{}, fmt.Errorf("diagnosis: no surviving processors to run a test round")
+	}
+	s := NewSyndrome(n)
+	kernel := func(p *machine.Proc) error {
+		row := s.Fail[p.ID()]
+		probe := []sortutil.Key{sortutil.Key(p.ID())}
+		for d := 0; d < n; d++ {
+			v := h.Neighbor(p.ID(), d)
+			// A testable neighbor is alive (participating) and reachable
+			// over a live edge. Both endpoints evaluate the same symmetric
+			// predicate, so probe exchanges always pair up and the round
+			// cannot deadlock.
+			if !p.InGroup(v) || p.LinkDead(p.ID(), v) {
+				row[d] = true
+				continue
+			}
+			got := p.Exchange(v, probeTagBase+machine.Tag(d), probe)
+			// One comparison to evaluate the echoed identity.
+			p.Compute(1)
+			row[d] = len(got) != 1 || got[0] != sortutil.Key(v)
+			p.Release(got)
+		}
+		return nil
+	}
+	res, err := m.Run(survivors, kernel)
+	if err != nil {
+		return OnlineResult{}, fmt.Errorf("diagnosis: probe round failed: %w", err)
+	}
+
+	firedNodes, firedLinks := m.FiredFaults()
+	senderIdentified := m.Faults().Clone()
+	for _, id := range firedNodes {
+		senderIdentified.Add(id)
+	}
+	out := OnlineResult{
+		Faults:    senderIdentified,
+		NewLinks:  firedLinks,
+		RoundTime: res.Makespan,
+	}
+
+	// Dead processors report arbitrary verdicts; draw them from the
+	// seeded adversarial stream in address order so the syndrome is a
+	// pure function of (machine state, seed).
+	liar := xrand.New(seed)
+	for u := cube.NodeID(0); u < cube.NodeID(h.Size()); u++ {
+		if senderIdentified.Has(u) {
+			for d := 0; d < n; d++ {
+				s.Fail[u][d] = liar.Uint64()&1 == 1
+			}
+		}
+	}
+
+	if len(firedLinks) == 0 && len(m.LinkFaults()) == 0 && len(senderIdentified) <= n {
+		decoded, derr := Diagnose(h, s, n)
+		if derr == nil && maps.Equal(decoded, senderIdentified) {
+			out.Faults = decoded
+			out.Confirmed = true
+		}
+	}
+	return out, nil
+}

@@ -537,14 +537,27 @@ func (ln *lane) run(pl *pool, l *lease, batch []*item) {
 	if err != nil {
 		// Sub-run `completed` failed with err; later sub-runs were never
 		// attempted. Fail the culprit and re-run the rest individually on
-		// this lease — per-request error isolation, same as Batch.
+		// this lease — per-request error isolation, same as Batch. An
+		// injected casualty instead routes the culprit through recovery,
+		// and the individual re-runs fail fast at the dead node's first
+		// operation and recover the same way.
+		if e.em != nil {
+			e.em.AbortedSubRuns.Add(int64(len(sc.fusedIdx) - completed))
+		}
 		if completed < len(sc.fusedIdx) {
 			li := sc.fusedIdx[completed]
-			live[li].finish(Result{Err: err})
+			res := Result{Err: err}
+			if machine.IsInjectedDeath(err) {
+				res = e.recoverFrom(context.Background(), l.m, live[li].req, err)
+			}
+			live[li].finish(res)
 			live[li] = nil
 		}
 		for _, li := range sc.fusedIdx[completed+1:] {
 			res := e.runOnLease(l, ln.entry, live[li].req)
+			if res.Err != nil && machine.IsInjectedDeath(res.Err) {
+				res = e.recoverFrom(context.Background(), l.m, live[li].req, res.Err)
+			}
 			live[li].finish(res)
 			live[li] = nil
 		}

@@ -136,6 +136,11 @@ type Metrics struct {
 	// cancelled while queued.
 	AdmissionRejected int64
 	Cancelled         int64
+	// Replans counts successful hot replans after mid-run injected
+	// casualties; Unrecoverable counts casualties the engine could not
+	// replan around (the caller saw ErrUnrecoverable).
+	Replans       int64
+	Unrecoverable int64
 }
 
 // Engine caches plans, pools machines, and coalesces concurrent
@@ -182,6 +187,8 @@ type Engine struct {
 	fusedReq   atomic.Int64
 	rejected   atomic.Int64
 	cancelled  atomic.Int64
+	replans    atomic.Int64
+	unrecov    atomic.Int64
 
 	// Observability hooks, set before the engine serves requests (see
 	// Instrument / SetTrace): nil means off, and every consuming path
@@ -327,6 +334,8 @@ func (e *Engine) Metrics() Metrics {
 		FusedRequests:     e.fusedReq.Load(),
 		AdmissionRejected: e.rejected.Load(),
 		Cancelled:         e.cancelled.Load(),
+		Replans:           e.replans.Load(),
+		Unrecoverable:     e.unrecov.Load(),
 	}
 }
 
@@ -539,7 +548,13 @@ func (e *Engine) doDirect(ctx context.Context, key partition.PlanKey, cfg Config
 			e.em.PoolInUse.Add(-1)
 		}
 	}()
-	return e.runOnLease(l, entry, req)
+	res := e.runOnLease(l, entry, req)
+	if res.Err != nil && machine.IsInjectedDeath(res.Err) {
+		// A live fault killed the run: diagnose on the still-leased
+		// machine, replan, and finish on the degraded configuration.
+		res = e.recoverFrom(ctx, l.m, req, res.Err)
+	}
+	return res
 }
 
 // runOnLease executes one request on an already-acquired lease.

@@ -114,6 +114,37 @@ func (p *pool) release(l *lease) {
 	p.idle <- l
 }
 
+// arm schedules live fault injections on the pool's shared injector. It
+// leases a machine first, which forces the template build on a cold pool
+// and guarantees the lease/template invariant (a non-empty pool always
+// has a template); arming the template arms every clone, existing and
+// future, because Clone shares the injector.
+func (p *pool) arm(injs ...machine.Injection) error {
+	l, err := p.acquire(context.Background(), nil)
+	if err != nil {
+		return err
+	}
+	defer p.release(l)
+	p.mu.Lock()
+	t := p.template
+	p.mu.Unlock()
+	return t.Arm(injs...)
+}
+
+// disarm clears the pool's injection schedule, fired entries included.
+func (p *pool) disarm() error {
+	l, err := p.acquire(context.Background(), nil)
+	if err != nil {
+		return err
+	}
+	defer p.release(l)
+	p.mu.Lock()
+	t := p.template
+	p.mu.Unlock()
+	t.DisarmInjections()
+	return nil
+}
+
 // close retires the persistent workers of every machine the pool built.
 // Callers must guarantee no request is still running on them.
 func (p *pool) close() {

@@ -138,3 +138,69 @@ func TestReleasePoisonDetectsUseAfterRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAbortMidExchangeRecyclesCleanly pins the abort-cascade/pool
+// interaction for live faults: a node killed mid-compare-split strands
+// peers in Send/Recv against it, and the abort cascade must neither leak
+// their in-flight pooled payloads nor double-release one into two future
+// owners. The test kills a node at several different virtual instants
+// (striking different points of the exchange schedule), then disarms and
+// replays verified ring traffic with poisoning on — a buffer freed twice
+// would alias two sends (wrong data), and a stale undelivered payload
+// would surface as the poison sentinel.
+func TestAbortMidExchangeRecyclesCleanly(t *testing.T) {
+	SetReleasePoison(true)
+	defer SetReleasePoison(false)
+
+	m := MustNew(Config{Dim: 3})
+	defer m.Close()
+	parts := m.Healthy()
+
+	traffic := func(p *Proc) error {
+		payload := []sortutil.Key{1, 2, 3, 4, 5, 6, 7, 8}
+		for r := 0; r < 8; r++ {
+			p.Compute(2)
+			for d := 0; d < p.Dim(); d++ {
+				peer := cube.FlipBit(p.ID(), d)
+				got := p.Exchange(peer, Tag(r*p.Dim()+d), payload)
+				p.Release(got)
+			}
+		}
+		return nil
+	}
+
+	for trial := 0; trial < 6; trial++ {
+		if err := m.Arm(Injection{Kind: KillNode, Node: 5, At: Time(trial * 7)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.RunAllHealthy(traffic); !IsInjectedDeath(err) {
+			t.Fatalf("trial %d: kill did not fire: %v", trial, err)
+		}
+		m.DisarmInjections()
+
+		// Verified replay: every received key must be the sender's exact
+		// payload — never poison, never another round's buffer.
+		_, err := m.Run(parts, func(p *Proc) error {
+			next := cube.NodeID((int(p.ID()) + 1) % len(parts))
+			prev := cube.NodeID((int(p.ID()) + len(parts) - 1) % len(parts))
+			base := sortutil.Key(int(p.ID())*100 + trial*1000)
+			for r := 0; r < 10; r++ {
+				p.Send(next, Tag(r), []sortutil.Key{base, base + 1, base + 2})
+				got := p.Recv(prev, Tag(r))
+				want := sortutil.Key(int(prev)*100 + trial*1000)
+				for i, k := range got {
+					if k == poisonKey {
+						t.Errorf("trial %d round %d: node %d observed poisoned payload after abort", trial, r, p.ID())
+					} else if k != want+sortutil.Key(i) {
+						t.Errorf("trial %d round %d: node %d got[%d] = %d, want %d", trial, r, p.ID(), i, k, want+sortutil.Key(i))
+					}
+				}
+				p.Release(got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: post-abort replay: %v", trial, err)
+		}
+	}
+}

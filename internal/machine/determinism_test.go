@@ -16,6 +16,7 @@
 package machine_test
 
 import (
+	"errors"
 	"maps"
 	"runtime"
 	"slices"
@@ -123,6 +124,68 @@ func TestCrossSubstrateDeterminism(t *testing.T) {
 					}
 					m.Close()
 				})
+			}
+		})
+	}
+}
+
+// TestCrossSubstrateDeterminismInjection extends the harness to live
+// faults: an armed kill must fire at the same virtual instant on the
+// same victim under every substrate, and the degraded re-run on the
+// survivors must produce bit-identical results everywhere. This is what
+// makes chaos schedules replayable: (seed, injection schedule) pins the
+// entire recovery trajectory regardless of host parallelism.
+func TestCrossSubstrateDeterminismInjection(t *testing.T) {
+	keys := workload.MustGenerate(workload.Uniform, 260, xrand.New(13))
+	plan, err := partition.BuildPlan(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedFaults := cube.NewNodeSet(5)
+	degradedPlan, err := partition.BuildPlan(4, degradedFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var refDied machine.ProcessorDiedError
+	var refOut []sortutil.Key
+	var refRes machine.Result
+	for i, v := range substrateVariants() {
+		withSubstrate(v, func() {
+			// The casualty run: the kill must strike the same victim at
+			// the same virtual time on every substrate.
+			m := machine.MustNew(machine.Config{Dim: 4})
+			if err := m.Arm(machine.Injection{Kind: machine.KillNode, Node: 5, At: 30}); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := core.FTSortOpt(m, plan, keys, core.Options{})
+			m.Close()
+			var died machine.ProcessorDiedError
+			if !errors.As(err, &died) {
+				t.Fatalf("%s: want ProcessorDiedError, got %v", v.name, err)
+			}
+
+			// The degraded re-run: recovery output is as deterministic as
+			// the healthy path.
+			dm := machine.MustNew(machine.Config{Dim: 4, Faults: degradedFaults})
+			out, res, err := core.FTSortOpt(dm, degradedPlan, keys, core.Options{})
+			dm.Close()
+			if err != nil {
+				t.Fatalf("%s: degraded run: %v", v.name, err)
+			}
+
+			if i == 0 {
+				refDied, refOut, refRes = died, out, res
+				return
+			}
+			if died != refDied {
+				t.Errorf("%s: casualty diverges: %+v vs %+v", v.name, died, refDied)
+			}
+			if !slices.Equal(out, refOut) {
+				t.Errorf("%s: degraded sorted output diverges", v.name)
+			}
+			if !resultsEqual(res, refRes) {
+				t.Errorf("%s: degraded Result diverges\n got %+v\nwant %+v", v.name, res, refRes)
 			}
 		})
 	}

@@ -139,6 +139,10 @@ type Machine struct {
 	// Send can compute it inline without the interface dispatch.
 	hopper  routing.HopCounter
 	hamming bool
+	// inj is the live fault-injection schedule, shared with Clones (like
+	// bufs) so arming a pool's template arms the whole pool. Disarmed it
+	// costs one atomic nil-load per Proc operation; see inject.go.
+	inj *injector
 
 	// Execution substrate state, reused across Runs so the steady state
 	// allocates nothing per call.
@@ -231,6 +235,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m.bufs = &keyPool{}
+	m.inj = &injector{}
 	m.hopper, _ = m.router.(routing.HopCounter)
 	m.hamming = routing.HammingHops(m.router)
 	return m, nil
@@ -248,7 +253,7 @@ func New(cfg Config) (*Machine, error) {
 // Clone may be called while the source machine is mid-Run: it reads only
 // immutable configuration.
 func (m *Machine) Clone() *Machine {
-	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper, hamming: m.hamming}
+	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper, hamming: m.hamming, inj: m.inj}
 	c.nodes = make([]*node, m.h.Size())
 	for i := range c.nodes {
 		id := cube.NodeID(i)
@@ -271,6 +276,10 @@ func (m *Machine) Cube() cube.Hypercube { return m.h }
 
 // Faults returns the configured fault set (not a copy; do not modify).
 func (m *Machine) Faults() cube.NodeSet { return m.cfg.Faults }
+
+// LinkFaults returns the configured dead-link set (not a copy; do not
+// modify). Fired KillLink injections are not included — see FiredFaults.
+func (m *Machine) LinkFaults() cube.EdgeSet { return m.cfg.LinkFaults }
 
 // Cost returns the active cost model.
 func (m *Machine) Cost() CostModel { return m.cfg.Cost }

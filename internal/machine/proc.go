@@ -73,6 +73,9 @@ func (p *Proc) IsFaulty(addr cube.NodeID) bool { return p.m.cfg.Faults.Has(addr)
 // Compute advances the clock by n key comparisons (n * t_c). Negative n
 // is a programming error and panics.
 func (p *Proc) Compute(n int) {
+	if s := p.m.inj.load(); s != nil {
+		p.checkInjections(s)
+	}
 	if n < 0 {
 		panic("machine: negative comparison count")
 	}
@@ -100,6 +103,11 @@ func (p *Proc) Elapse(d Time) {
 // totally faulty destination, or routing failure in the Total model,
 // aborts the kernel.
 func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
+	// Injection check first — before validation and, crucially, before
+	// payloadGet, so a dying sender cannot strand a pooled buffer.
+	if s := p.m.inj.load(); s != nil {
+		p.checkSendInjections(s, dst)
+	}
 	if !p.m.h.Contains(dst) {
 		p.fail(fmt.Errorf("machine: node %d sent to %d outside the cube", p.nd.id, dst))
 	}
@@ -144,6 +152,9 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 // the buffer instead of allocating. Never retain a slice after releasing
 // it.
 func (p *Proc) Recv(src cube.NodeID, tag Tag) []sortutil.Key {
+	if s := p.m.inj.load(); s != nil {
+		p.checkInjections(s)
+	}
 	m, waited, ok := p.nd.box.take(src, tag)
 	if !ok {
 		p.fail(ErrAborted)
@@ -227,6 +238,9 @@ func (p *Proc) payloadPut(b []sortutil.Key) {
 // synchronizes the clock to the group maximum. It models phase structure
 // and is free in virtual time; see the barrier type for rationale.
 func (p *Proc) Barrier() {
+	if s := p.m.inj.load(); s != nil {
+		p.checkInjections(s)
+	}
 	t, ok := p.m.bar.wait(p.slot, p.nd.clock)
 	if !ok {
 		p.fail(ErrAborted)

@@ -108,6 +108,29 @@ type EngineMetrics struct {
 	QueueWait *Histogram
 	// BatchSize is the distribution of requests per fused dispatch.
 	BatchSize *Histogram
+
+	// Live-fault recovery instruments (the replanning path that survives
+	// mid-run injected casualties).
+
+	// Replans counts successful hot replans: a run died to an injected
+	// fault, diagnosis converged, a new plan was found, and the request
+	// completed on the degraded configuration.
+	Replans *Counter
+	// AbortedSubRuns counts fused sub-runs cut short when a session
+	// abort cascade fired mid-batch (the culprit plus every sub-run
+	// never attempted).
+	AbortedSubRuns *Counter
+	// KeysRedistributed counts keys re-spread over the surviving
+	// processors by successful replans.
+	KeysRedistributed *Counter
+	// Unrecoverable counts casualties the engine could not replan
+	// around (no single-fault partition, or no processors left); the
+	// caller saw ErrUnrecoverable.
+	Unrecoverable *Counter
+	// RecoveryLatency is the wall-clock nanoseconds from a fatal injected
+	// casualty to the recovered request completing (diagnosis round,
+	// replan, and degraded re-run included).
+	RecoveryLatency *Histogram
 }
 
 // NewEngineMetrics registers the engine bundle in r. Idempotent.
@@ -143,5 +166,15 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Nanoseconds a request waited for execution capacity (lane queue or machine-pool acquire)."),
 		BatchSize: r.Histogram("hypersort_engine_batch_size",
 			"Requests per fused dispatch."),
+		Replans: r.Counter("hypersort_engine_replans_total",
+			"Successful hot replans after a mid-run injected casualty (diagnosis converged, new plan found, request completed)."),
+		AbortedSubRuns: r.Counter("hypersort_engine_aborted_sub_runs_total",
+			"Fused sub-runs cut short by a session abort cascade (culprit plus never-attempted remainder)."),
+		KeysRedistributed: r.Counter("hypersort_engine_keys_redistributed_total",
+			"Keys re-spread over surviving processors by successful replans."),
+		Unrecoverable: r.Counter("hypersort_engine_unrecoverable_total",
+			"Casualties the engine could not replan around (caller saw ErrUnrecoverable)."),
+		RecoveryLatency: r.Histogram("hypersort_engine_recovery_latency_ns",
+			"Wall-clock nanoseconds from fatal injected casualty to recovered request completion."),
 	}
 }
