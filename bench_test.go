@@ -301,6 +301,47 @@ func BenchmarkEngineBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDirectBatch measures the direct host-speed substrate on the
+// exact traffic of BenchmarkEngineBatch: the same 32 mixed-configuration
+// requests, served by an engine in ModeDirect (compiled schedules,
+// in-memory compare-split, predicted stats) instead of the simulator.
+// The ratio of engine-batch to direct-batch ns/op is the substrate's
+// speedup; the acceptance bar is >= 3x at GOMAXPROCS=4.
+func BenchmarkDirectBatch(b *testing.B) {
+	b.ReportAllocs()
+	configs := []Config{
+		{Dim: 4, Faults: []NodeID{0, 1, 2}},
+		{Dim: 5, Faults: []NodeID{3, 17}},
+		{Dim: 4, Faults: []NodeID{5}, Model: Total},
+		{Dim: 5, Faults: []NodeID{0, 12, 25, 31}},
+	}
+	const perBatch = 32
+	reqs := make([]Request, perBatch)
+	for i := range reqs {
+		reqs[i] = Request{Config: configs[i%len(configs)], Op: OpSort, Keys: genKeys(512, uint64(i))}
+	}
+	b.Run("direct-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := NewEngine(EngineConfig{Mode: ModeDirect})
+		for _, res := range eng.SortBatch(reqs) { // warm plans and compiled schedules
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if !res.Direct {
+				b.Fatal("warm-up request not served direct")
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.SortBatch(reqs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkBaselineBitonic measures the fault-free full-cube bitonic sort
 // the baseline runs on the maximum fault-free subcube.
 func BenchmarkBaselineBitonic(b *testing.B) {

@@ -271,12 +271,15 @@ func (wi wireInjection) toInjection() (hypersort.Config, hypersort.Injection, er
 	return cfg, inj, nil
 }
 
-// wireResult is the JSON shape of one outcome.
+// wireResult is the JSON shape of one outcome. Direct marks results
+// served by the direct host-speed substrate: the keys are exact, the
+// stats are the analytic prediction instead of simulator measurements.
 type wireResult struct {
-	Keys  []int64         `json:"keys,omitempty"`
-	Value *int64          `json:"value,omitempty"`
-	Stats hypersort.Stats `json:"stats"`
-	Err   string          `json:"error,omitempty"`
+	Keys   []int64         `json:"keys,omitempty"`
+	Value  *int64          `json:"value,omitempty"`
+	Stats  hypersort.Stats `json:"stats"`
+	Direct bool            `json:"direct,omitempty"`
+	Err    string          `json:"error,omitempty"`
 }
 
 // toWire converts a library result into its wire form, selecting the
@@ -285,7 +288,7 @@ func toWire(req hypersort.Request, res hypersort.Result) wireResult {
 	if res.Err != nil {
 		return wireResult{Err: res.Err.Error()}
 	}
-	out := wireResult{Stats: res.Stats}
+	out := wireResult{Stats: res.Stats, Direct: res.Direct}
 	switch req.Op {
 	case hypersort.OpKthSmallest, hypersort.OpMedian:
 		v := int64(res.Value)

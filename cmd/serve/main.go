@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serve -addr :8080 [-pool 4] [-workers 8] [-trace-buf 65536] [-trace-sample 1]
+//	serve [-mode auto|direct|sim] [-oracle-sample 0]
 //	serve [-no-batching] [-max-batch 32] [-max-linger 100us] [-admission-queue 256]
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
 //
@@ -13,7 +14,17 @@
 // dispatcher: concurrent requests on the same configuration fuse into
 // one machine run. When a configuration's admission queue fills, the
 // affected requests answer 503 with Retry-After — backpressure, not
-// client error. -no-batching restores the direct per-request path.
+// client error. -no-batching restores the unbatched per-request path.
+//
+// -mode selects the execution substrate. "sim" (the historical
+// behaviour) runs every sort on the simulated machine with measured
+// stats. "direct" serves eligible sorts at host speed with predicted
+// stats ("direct":true in the response); the simulator remains the
+// oracle and the only path while -chaos injections are armed. "auto"
+// (the default) picks direct when it can be done faithfully — which
+// with the default tracing-on configuration means sim; pass
+// -trace-buf 0 to let auto serve direct. -oracle-sample N cross-checks
+// one in N direct results against the simulator.
 //
 // Endpoints:
 //
@@ -70,10 +81,12 @@ func main() {
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		pool        = flag.Int("pool", 0, "machines pooled per configuration (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "concurrent batch requests (0 = GOMAXPROCS)")
-		noBatching  = flag.Bool("no-batching", false, "disable the continuous-batching dispatcher (every sort takes the direct pool path)")
+		noBatching  = flag.Bool("no-batching", false, "disable the continuous-batching dispatcher (every sort takes the unbatched pool path)")
 		maxBatch    = flag.Int("max-batch", 0, "max sort requests fused into one machine run (0 = default)")
 		maxLinger   = flag.Duration("max-linger", 0, "how long the dispatcher holds a partial batch open for stragglers (0 = default)")
 		admission   = flag.Int("admission-queue", 0, "queued sorts allowed per configuration before 503s (0 = default)")
+		mode        = flag.String("mode", "auto", "execution substrate: sim, direct, or auto")
+		oracle      = flag.Int("oracle-sample", 0, "cross-check 1 in N direct results on the simulator oracle (0 = off)")
 		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 of every N machine events")
 		chaos       = flag.Bool("chaos", false, "enable the /v1/chaos fault-injection endpoints (live-fault drills)")
@@ -88,6 +101,10 @@ func main() {
 	// one atomic claim per event, and /v1/trace exports the most recent
 	// window on demand.
 	var ring *trace.Ring
+	execMode, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
 	ecfg := hypersort.EngineConfig{
 		PoolSize:        *pool,
 		BatchWorkers:    *workers,
@@ -95,6 +112,8 @@ func main() {
 		MaxBatch:        *maxBatch,
 		MaxLinger:       *maxLinger,
 		AdmissionQueue:  *admission,
+		Mode:            execMode,
+		OracleSample:    *oracle,
 	}
 	if *traceBuf > 0 {
 		ring = trace.NewRing(*traceBuf, *traceSample)
@@ -121,7 +140,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		}
 	}()
-	fmt.Printf("serve: listening on %s (pool=%d workers=%d batching=%v trace-buf=%d)\n", *addr, *pool, *workers, !*noBatching, *traceBuf)
+	fmt.Printf("serve: listening on %s (pool=%d workers=%d batching=%v mode=%s trace-buf=%d)\n", *addr, *pool, *workers, !*noBatching, execMode, *traceBuf)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -191,6 +210,19 @@ func runDemo(eng *hypersort.Engine, requests, m int, seed uint64) {
 	agg := hypersort.SumStats(results)
 	fmt.Printf("simulated totals: critical-path makespan=%d comparisons=%d key-hops=%d\n",
 		agg.Makespan, agg.Comparisons, agg.KeyHops)
+}
+
+// parseMode maps the -mode flag to an execution substrate.
+func parseMode(s string) (hypersort.ExecMode, error) {
+	switch s {
+	case "sim":
+		return hypersort.ModeSim, nil
+	case "direct":
+		return hypersort.ModeDirect, nil
+	case "auto":
+		return hypersort.ModeAuto, nil
+	}
+	return hypersort.ModeSim, fmt.Errorf("serve: unknown -mode %q (want sim, direct, or auto)", s)
 }
 
 func fatal(err error) {

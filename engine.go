@@ -51,7 +51,33 @@ type EngineConfig struct {
 	// configuration; beyond it requests fail fast with
 	// ErrAdmissionRejected. Values < 1 select the default (256).
 	AdmissionQueue int
+
+	// Mode selects the execution substrate. ModeSim (the default) runs
+	// every request on the simulated machine with measured Stats.
+	// ModeDirect serves eligible sorts (full-block protocol, no
+	// distribution accounting) at host speed with analytically predicted
+	// Stats — bit-identical sorted output, no simulated machinery — and
+	// falls back to the simulator for everything else, including any
+	// configuration with chaos injections armed. ModeAuto is ModeDirect
+	// unless Trace is set (direct runs emit no machine events).
+	Mode ExecMode
+	// OracleSample, when > 0 with direct execution active, re-runs one
+	// in every OracleSample direct results on the simulator oracle and
+	// cross-checks the sorted output (EngineMetrics.OracleRuns /
+	// ParityBreaks; the sampled request waits for the simulated run).
+	OracleSample int
 }
+
+// ExecMode selects an Engine's execution substrate; see EngineConfig.Mode.
+type ExecMode = engine.Mode
+
+// Execution substrates: the simulator (measured Stats), the direct
+// host-speed path (predicted Stats), or automatic selection.
+const (
+	ModeSim    = engine.ModeSim
+	ModeDirect = engine.ModeDirect
+	ModeAuto   = engine.ModeAuto
+)
 
 // ErrAdmissionRejected is found (via errors.Is) in a Result.Err or Sort
 // error when the engine's bounded admission queue for the request's
@@ -128,6 +154,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Trace != nil {
 		eng.SetTrace(machine.TraceFunc(cfg.Trace))
 	}
+	eng.SetMode(cfg.Mode)
+	eng.SetOracleSample(cfg.OracleSample)
 	return &Engine{eng: eng}
 }
 
@@ -160,18 +188,25 @@ type Request struct {
 // follows the request's Op: Keys for OpSort and OpTopK, Value for
 // OpKthSmallest and OpMedian. Err is per-request — see Stats for how to
 // aggregate statistics over a batch.
+//
+// Direct reports which substrate served the request: false means a
+// simulated machine measured Stats, true means the direct host-speed
+// substrate sorted the keys and Stats is the analytic prediction (the
+// §3 worst-case makespan and exact message/key/comparison counts; key
+// hops are a lower bound under detour routing).
 type Result struct {
-	Keys  []Key
-	Value Key
-	Stats Stats
-	Err   error
+	Keys   []Key
+	Value  Key
+	Stats  Stats
+	Direct bool
+	Err    error
 }
 
 // Close shuts down the engine's dispatch lanes (queued requests are
 // drained and served first) and retires the persistent worker goroutines
 // of its pooled machines. Call it when done serving — typically on
 // server shutdown, after in-flight requests have drained. The engine
-// remains usable afterwards (requests fall back to the unbatched direct
+// remains usable afterwards (requests fall back to the unbatched pool
 // path and machines respawn workers on demand), so Close is a resource
 // release, not a poison pill; it is idempotent and safe to defer at
 // construction time.
@@ -300,10 +335,11 @@ func (e *Engine) SortBatchContext(ctx context.Context, reqs []Request) []Result 
 			continue
 		}
 		out[i] = Result{
-			Keys:  innerRes[i].Keys,
-			Value: innerRes[i].Value,
-			Stats: statsOf(innerRes[i].Res),
-			Err:   innerRes[i].Err,
+			Keys:   innerRes[i].Keys,
+			Value:  innerRes[i].Value,
+			Stats:  statsOf(innerRes[i].Res),
+			Direct: innerRes[i].Direct,
+			Err:    innerRes[i].Err,
 		}
 	}
 	return out
@@ -321,7 +357,7 @@ func (e *Engine) doCtx(ctx context.Context, req Request) Result {
 		return Result{Err: err}
 	}
 	res := e.eng.DoContext(ctx, engine.Request{Config: ecfg, Op: req.Op, Keys: req.Keys, K: req.K})
-	return Result{Keys: res.Keys, Value: res.Value, Stats: statsOf(res.Res), Err: res.Err}
+	return Result{Keys: res.Keys, Value: res.Value, Stats: statsOf(res.Res), Direct: res.Direct, Err: res.Err}
 }
 
 // engineConfig converts the public Config, rejecting what an engine

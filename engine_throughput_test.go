@@ -34,15 +34,18 @@ const (
 	throughputM       = 16 // keys per request: small-M, dispatch-dominated
 )
 
-// throughputModes are the two engine configurations under comparison:
-// the fused dispatcher versus the same engine with batching disabled
-// (every request takes the direct pool path).
+// throughputModes are the engine configurations under comparison: the
+// fused dispatcher, the same engine with batching disabled (every
+// request takes the unbatched pool path), and the dispatcher routing
+// fused batches to the direct host-speed substrate.
 var throughputModes = []struct {
 	name     string
 	disabled bool
+	mode     engine.Mode
 }{
-	{"batching", false},
-	{"pool-only", true},
+	{"batching", false, engine.ModeSim},
+	{"pool-only", true, engine.ModeSim},
+	{"direct", false, engine.ModeDirect},
 }
 
 // throughputConfigs is the mix scenario's configuration ladder: a
@@ -64,7 +67,7 @@ func throughputConfigs() []engine.Config {
 // request picking its configuration through pick. Reports req/s, the p99
 // nanoseconds a request waited for execution capacity (from the
 // engine's own queue-wait histogram), and the mean fused batch depth.
-func runThroughput(b *testing.B, disabled bool, configs []engine.Config, pick func(client int, i int64) int) {
+func runThroughput(b *testing.B, disabled bool, mode engine.Mode, configs []engine.Config, pick func(client int, i int64) int) {
 	rng := xrand.New(7)
 	inputs := make([][]sortutil.Key, throughputClients)
 	for i := range inputs {
@@ -78,6 +81,7 @@ func runThroughput(b *testing.B, disabled bool, configs []engine.Config, pick fu
 	// One machine per configuration: a saturated pool is exactly the
 	// regime continuous batching targets.
 	e := engine.NewOpts(1, throughputClients, engine.BatchOptions{Disabled: disabled, MaxBatch: 32, MaxLinger: 100 * time.Microsecond})
+	e.SetMode(mode)
 	e.Instrument(reg)
 	defer e.Close()
 	em := obs.NewEngineMetrics(reg) // same instruments: registration is idempotent
@@ -123,6 +127,9 @@ func runThroughput(b *testing.B, disabled bool, configs []engine.Config, pick fu
 	if mtr.FusedBatches > 0 {
 		b.ReportMetric(float64(mtr.FusedRequests)/float64(mtr.FusedBatches), "reqs/batch")
 	}
+	if mtr.DirectBatches > 0 {
+		b.ReportMetric(float64(mtr.DirectRequests)/float64(mtr.DirectBatches), "reqs/batch")
+	}
 }
 
 // BenchmarkEngineThroughput is the headline scenario: 64 concurrent
@@ -137,7 +144,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	hot := []engine.Config{{Dim: 2, Faults: []cube.NodeID{3}}}
 	for _, mode := range throughputModes {
 		b.Run(mode.name, func(b *testing.B) {
-			runThroughput(b, mode.disabled, hot, func(int, int64) int { return 0 })
+			runThroughput(b, mode.disabled, mode.mode, hot, func(int, int64) int { return 0 })
 		})
 	}
 }
@@ -150,7 +157,7 @@ func BenchmarkEngineThroughputMix(b *testing.B) {
 	configs := throughputConfigs()
 	for _, mode := range throughputModes {
 		b.Run(mode.name, func(b *testing.B) {
-			runThroughput(b, mode.disabled, configs, func(_ int, i int64) int { return int(i) % len(configs) })
+			runThroughput(b, mode.disabled, mode.mode, configs, func(_ int, i int64) int { return int(i) % len(configs) })
 		})
 	}
 }
@@ -159,7 +166,7 @@ func BenchmarkEngineThroughputMix(b *testing.B) {
 // of concurrent small sorts against one machine must complete correctly
 // AND actually coalesce — the dispatcher's coalescing counters are the
 // assertion, so a regression that silently routes everything down the
-// direct path fails here, not in a benchmark nobody is watching.
+// unbatched path fails here, not in a benchmark nobody is watching.
 func TestEngineThroughputSmoke(t *testing.T) {
 	e := engine.NewOpts(1, 32, engine.BatchOptions{MaxLinger: 2 * time.Millisecond})
 	defer e.Close()

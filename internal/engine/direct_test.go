@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"slices"
+	"testing"
+
+	"hypersort/internal/bitonic"
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
+	"hypersort/internal/sortutil"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// directTestKeys generates a deterministic mixed workload.
+func directTestKeys(n int, seed uint64) []sortutil.Key {
+	return workload.MustGenerate(workload.Uniform, n, xrand.New(seed))
+}
+
+// TestModeDirectServesSortsWithoutMachines pins the tentpole contract:
+// in ModeDirect an eligible sort is served by the direct substrate —
+// same sorted output as a simulated engine, a predicted Result, the
+// Direct flag set, and no simulated machine ever constructed.
+func TestModeDirectServesSortsWithoutMachines(t *testing.T) {
+	cfg := Config{Dim: 4, Faults: []cube.NodeID{0, 7, 9}}
+	keys := directTestKeys(700, 1)
+
+	dEng := New(1, 1)
+	defer dEng.Close()
+	dEng.SetMode(ModeDirect)
+	dRes := dEng.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if dRes.Err != nil {
+		t.Fatal(dRes.Err)
+	}
+	if !dRes.Direct {
+		t.Fatal("ModeDirect sort did not set Result.Direct")
+	}
+
+	sEng := New(1, 1)
+	defer sEng.Close()
+	sRes := sEng.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if sRes.Err != nil {
+		t.Fatal(sRes.Err)
+	}
+	if sRes.Direct {
+		t.Fatal("default-mode sort set Result.Direct")
+	}
+	if !slices.Equal(dRes.Keys, sRes.Keys) {
+		t.Fatal("direct output differs from simulated output")
+	}
+
+	m := dEng.Metrics()
+	if m.MachinesBuilt != 0 || m.MachinesCloned != 0 {
+		t.Errorf("direct engine built %d machines (cloned %d), want 0", m.MachinesBuilt, m.MachinesCloned)
+	}
+	if m.DirectRequests != 1 {
+		t.Errorf("DirectRequests = %d, want 1", m.DirectRequests)
+	}
+	if m.DirectBatches != 1 {
+		t.Errorf("DirectBatches = %d, want 1", m.DirectBatches)
+	}
+	if dRes.Res.Makespan <= 0 || dRes.Res.Comparisons <= 0 {
+		t.Errorf("predicted Result looks empty: %+v", dRes.Res)
+	}
+}
+
+// TestModeDirectIneligibleOps pins the eligibility rules: selection ops,
+// the half-exchange protocol, and distribution accounting all stay on
+// the simulator even in ModeDirect.
+func TestModeDirectIneligibleOps(t *testing.T) {
+	e := New(1, 1)
+	defer e.Close()
+	e.SetMode(ModeDirect)
+	cfg := Config{Dim: 3, Faults: []cube.NodeID{2}}
+	keys := directTestKeys(200, 2)
+
+	if res := e.Do(Request{Config: cfg, Op: OpMedian, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if res.Direct {
+		t.Error("selection op served direct")
+	}
+	half := cfg
+	half.Protocol = bitonic.HalfExchange
+	if res := e.Do(Request{Config: half, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if res.Direct {
+		t.Error("half-exchange sort served direct")
+	}
+	acct := cfg
+	acct.AccountDistribution = true
+	if res := e.Do(Request{Config: acct, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if res.Direct {
+		t.Error("AccountDistribution sort served direct")
+	}
+	if m := e.Metrics(); m.DirectRequests != 0 {
+		t.Errorf("DirectRequests = %d, want 0", m.DirectRequests)
+	}
+	if m := e.Metrics(); m.MachinesBuilt == 0 {
+		t.Error("ineligible requests built no machines — they cannot have simulated")
+	}
+}
+
+// TestDirectChaosFallback pins the armed-chaos invariant: the simulator
+// is the only execution path while injections are armed, and disarming
+// restores direct service without rebuilding anything.
+func TestDirectChaosFallback(t *testing.T) {
+	e := New(1, 1)
+	defer e.Close()
+	e.SetMode(ModeDirect)
+	cfg := Config{Dim: 3}
+	keys := directTestKeys(300, 3)
+
+	if res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil || !res.Direct {
+		t.Fatalf("pre-arm sort: direct=%v err=%v", res.Direct, res.Err)
+	}
+	// Arm a kill far in the virtual future: the run recovers or completes
+	// — either way it must run on the simulator.
+	if err := e.InjectFault(cfg, machine.Injection{Kind: machine.KillNode, Node: 5, At: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Direct {
+		t.Fatal("sort served direct while chaos injections were armed")
+	}
+	if err := e.DisarmFaults(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil || !res.Direct {
+		t.Fatalf("post-disarm sort: direct=%v err=%v", res.Direct, res.Err)
+	}
+	if m := e.Metrics(); m.DirectRequests != 2 {
+		t.Errorf("DirectRequests = %d, want 2 (pre-arm and post-disarm only)", m.DirectRequests)
+	}
+}
+
+// TestModeAutoTraceFallback pins auto-mode semantics: with an
+// engine-wide trace hook attached auto serves the simulator (direct
+// runs emit no machine events); without one it serves direct.
+func TestModeAutoTraceFallback(t *testing.T) {
+	cfg := Config{Dim: 3}
+	keys := directTestKeys(120, 4)
+
+	traced := New(1, 1)
+	defer traced.Close()
+	traced.SetTrace(func(machine.TraceEvent) {})
+	traced.SetMode(ModeAuto)
+	if res := traced.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if res.Direct {
+		t.Error("auto mode served direct despite an attached trace hook")
+	}
+
+	plain := New(1, 1)
+	defer plain.Close()
+	plain.SetMode(ModeAuto)
+	if res := plain.Do(Request{Config: cfg, Op: OpSort, Keys: keys}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if !res.Direct {
+		t.Error("auto mode without trace did not serve direct")
+	}
+}
+
+// TestDirectOracleSampling exercises the shadow-oracle loop: with
+// SetOracleSample(1) every direct result is re-executed on a simulated
+// machine and cross-checked. Zero parity breaks expected, and the
+// sampled runs must show up in both Metrics and the obs bundle.
+func TestDirectOracleSampling(t *testing.T) {
+	e := New(1, 1)
+	defer e.Close()
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	e.SetMode(ModeDirect)
+	e.SetOracleSample(1)
+	cfg := Config{Dim: 4, Faults: []cube.NodeID{5}}
+	for i := 0; i < 8; i++ {
+		res := e.Do(Request{Config: cfg, Op: OpSort, Keys: directTestKeys(150+i, uint64(i))})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !res.Direct {
+			t.Fatal("oracle-sampled sort lost its Direct flag")
+		}
+	}
+	m := e.Metrics()
+	if m.OracleRuns != 8 {
+		t.Errorf("OracleRuns = %d, want 8", m.OracleRuns)
+	}
+	if m.ParityBreaks != 0 {
+		t.Errorf("ParityBreaks = %d, want 0", m.ParityBreaks)
+	}
+	if m.MachinesBuilt == 0 {
+		t.Error("oracle sampling built no simulated machine")
+	}
+}
+
+// TestModeDirectUnbatched covers the batching-disabled route: eligible
+// sorts take the direct substrate straight from do(), no lanes involved.
+func TestModeDirectUnbatched(t *testing.T) {
+	e := NewOpts(1, 1, BatchOptions{Disabled: true})
+	defer e.Close()
+	e.SetMode(ModeDirect)
+	cfg := Config{Dim: 4}
+	keys := directTestKeys(500, 5)
+	res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Direct {
+		t.Fatal("unbatched eligible sort not served direct")
+	}
+	m := e.Metrics()
+	if m.MachinesBuilt != 0 {
+		t.Errorf("MachinesBuilt = %d, want 0", m.MachinesBuilt)
+	}
+	if m.DirectBatches != 0 {
+		t.Errorf("DirectBatches = %d, want 0 (no lanes with batching disabled)", m.DirectBatches)
+	}
+	if m.DirectRequests != 1 {
+		t.Errorf("DirectRequests = %d, want 1", m.DirectRequests)
+	}
+}
+
+// TestDirectBatchCoalescing drives concurrent direct-mode sorts through
+// the dispatcher and checks they coalesce into direct batches with
+// bit-identical results to the simulator.
+func TestDirectBatchCoalescing(t *testing.T) {
+	e := New(1, 8)
+	defer e.Close()
+	e.SetMode(ModeDirect)
+	cfg := Config{Dim: 4, Faults: []cube.NodeID{3}}
+
+	const n = 64
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Config: cfg, Op: OpSort, Keys: directTestKeys(400, uint64(i))}
+	}
+	results := e.Batch(reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		if !res.Direct {
+			t.Fatalf("request %d not served direct", i)
+		}
+		want := slices.Clone(reqs[i].Keys)
+		slices.Sort(want)
+		if !slices.Equal(res.Keys, want) {
+			t.Fatalf("request %d mis-sorted", i)
+		}
+	}
+	m := e.Metrics()
+	if m.DirectRequests != n {
+		t.Errorf("DirectRequests = %d, want %d", m.DirectRequests, n)
+	}
+	if m.DirectBatches == 0 || m.DirectBatches > n {
+		t.Errorf("DirectBatches = %d, want in [1, %d]", m.DirectBatches, n)
+	}
+	if m.MachinesBuilt != 0 {
+		t.Errorf("MachinesBuilt = %d, want 0", m.MachinesBuilt)
+	}
+}

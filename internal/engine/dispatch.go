@@ -42,7 +42,7 @@ var errClosed = errors.New("engine: closed")
 
 // BatchOptions tunes the continuous-batching dispatcher.
 type BatchOptions struct {
-	// Disabled routes every request through the direct pool path,
+	// Disabled routes every request through the unbatched pool path,
 	// turning coalescing off entirely (the pool-only baseline).
 	Disabled bool
 	// MaxBatch caps how many requests one fused dispatch may carry.
@@ -222,7 +222,7 @@ func (e *Engine) laneFor(key laneKey, cfg Config, entry *planEntry) *lane {
 
 // submit routes a sort request through its dispatch lane and waits for
 // the result. handled is false when the engine is closed (the caller
-// falls back to the direct path). Rejection (queue full) and
+// falls back to the unbatched path). Rejection (queue full) and
 // cancellation while queued are both reported in the Result with
 // handled=true.
 func (e *Engine) submit(ctx context.Context, key partition.PlanKey, cfg Config, entry *planEntry, req Request) (Result, bool) {
@@ -316,6 +316,16 @@ func (ln *lane) dispatch() {
 			return
 		case first := <-ln.q:
 			batch := ln.gather(append(buf[:0], first), &linger)
+			if ln.directOK() {
+				// Eligible for the direct substrate: serve the whole
+				// batch at host speed, no machine lease. Always inline —
+				// there is no lease to overlap with.
+				batch = ln.topUp(batch)
+				ln.runDirect(batch)
+				clear(batch)
+				buf = batch[:0]
+				continue
+			}
 			pl := e.poolFor(poolKey{pk: ln.key.pk, cost: ln.key.cost}, ln.cfg)
 			l, err := pl.acquire(context.Background(), e.stop)
 			// Top up with everything that queued while we waited for the
@@ -329,7 +339,7 @@ func (ln *lane) dispatch() {
 				// without fusion and keep draining.
 				for _, it := range batch {
 					if ln.claim(it) {
-						it.finish(e.doDirect(context.Background(), ln.key.pk, ln.cfg, ln.entry, it.req))
+						it.finish(e.doUnbatched(context.Background(), ln.key.pk, ln.cfg, ln.entry, it.req))
 					}
 				}
 				continue
@@ -482,7 +492,7 @@ func (ln *lane) run(pl *pool, l *lease, batch []*item) {
 	// Prepare each request's run — re-arming a retired SortRun from the
 	// freelist when one is available (the lane serves one configuration,
 	// so every retired run's layout matches). A preparation failure (bad
-	// keys) fails only its own request, exactly like the direct path.
+	// keys) fails only its own request, exactly like the unbatched path.
 	for i, it := range live {
 		var r *core.SortRun
 		var err error
@@ -581,14 +591,14 @@ func (ln *lane) run(pl *pool, l *lease, batch []*item) {
 }
 
 // drain serves everything still queued when the engine closes, on the
-// dispatcher goroutine via the direct path, so no waiter is stranded.
+// dispatcher goroutine via the unbatched path, so no waiter is stranded.
 func (ln *lane) drain() {
 	e := ln.e
 	for {
 		select {
 		case it := <-ln.q:
 			if ln.claim(it) {
-				it.finish(e.doDirect(context.Background(), ln.key.pk, ln.cfg, ln.entry, it.req))
+				it.finish(e.doUnbatched(context.Background(), ln.key.pk, ln.cfg, ln.entry, it.req))
 			}
 		default:
 			return

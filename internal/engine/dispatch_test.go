@@ -280,7 +280,7 @@ func TestFusedRunMatchesIndividualRuns(t *testing.T) {
 }
 
 // TestSelectionOpsBypassLanes pins the routing rule: only plain sorts go
-// through dispatch lanes; selection ops run on the direct pool path and
+// through dispatch lanes; selection ops run on the unbatched pool path and
 // never count as fused requests.
 func TestSelectionOpsBypassLanes(t *testing.T) {
 	e := NewOpts(2, 4, BatchOptions{})
@@ -317,7 +317,7 @@ func TestDoAfterCloseFallsBackToDirectPath(t *testing.T) {
 		t.Fatal("sort after Close returned wrong keys")
 	}
 	if after := e.Metrics().FusedRequests; after != before {
-		t.Fatalf("request after Close was fused (%d -> %d), want direct path", before, after)
+		t.Fatalf("request after Close was fused (%d -> %d), want unbatched path", before, after)
 	}
 }
 

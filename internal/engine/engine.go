@@ -35,6 +35,7 @@ import (
 	"hypersort/internal/bitonic"
 	"hypersort/internal/core"
 	"hypersort/internal/cube"
+	"hypersort/internal/direct"
 	"hypersort/internal/machine"
 	"hypersort/internal/obs"
 	"hypersort/internal/partition"
@@ -106,11 +107,17 @@ type Request struct {
 // request on the same configuration. Callers that hold results across
 // further engine traffic must copy the map; every aggregate counter in
 // Res is a plain value and safe to keep.
+//
+// Direct reports which substrate served the request: false means a
+// simulated machine measured Res; true means the direct host-speed
+// substrate sorted the keys and Res is the analytic prediction (see
+// direct.Schedule.Predict for the exactness contract).
 type Result struct {
-	Keys  []sortutil.Key
-	Value sortutil.Key
-	Res   machine.Result
-	Err   error
+	Keys   []sortutil.Key
+	Value  sortutil.Key
+	Res    machine.Result
+	Direct bool
+	Err    error
 }
 
 // Metrics is a snapshot of the engine's lifetime counters.
@@ -141,6 +148,17 @@ type Metrics struct {
 	// replan around (the caller saw ErrUnrecoverable).
 	Replans       int64
 	Unrecoverable int64
+	// DirectRequests counts requests served by the direct host-speed
+	// substrate (no machine lease, predicted Result); DirectBatches
+	// counts dispatcher batches executed directly.
+	DirectRequests int64
+	DirectBatches  int64
+	// OracleRuns counts sampled direct results re-executed on the
+	// simulator oracle; ParityBreaks counts oracle runs whose sorted
+	// output differed from the direct output (any nonzero value is a
+	// substrate bug).
+	OracleRuns   int64
+	ParityBreaks int64
 }
 
 // Engine caches plans, pools machines, and coalesces concurrent
@@ -164,10 +182,16 @@ type Engine struct {
 	pkIntern map[string]partition.PlanKey
 	keyBufs  sync.Pool
 
+	// mode selects the execution substrate (see Mode) and oracleSample
+	// the direct-result cross-check rate; both are set before the engine
+	// serves traffic (SetMode / SetOracleSample) and read without locks.
+	mode         Mode
+	oracleSample int
+
 	// Dispatcher lifecycle: stop tells lane dispatchers to drain and
 	// exit; wg tracks dispatchers and in-flight fused runners; closed
 	// (under closeMu) gates new lane submissions so Close cannot strand
-	// a queued request. Do keeps working after Close via the direct
+	// a queued request. Do keeps working after Close via the unbatched
 	// path.
 	closeMu sync.RWMutex
 	closed  bool
@@ -190,6 +214,13 @@ type Engine struct {
 	replans    atomic.Int64
 	unrecov    atomic.Int64
 
+	directReq    atomic.Int64
+	directBat    atomic.Int64
+	oracleRuns   atomic.Int64
+	parityBreaks atomic.Int64
+	// oracleTick counts direct results for 1-in-N oracle sampling.
+	oracleTick atomic.Int64
+
 	// Observability hooks, set before the engine serves requests (see
 	// Instrument / SetTrace): nil means off, and every consuming path
 	// guards on that nil.
@@ -202,12 +233,18 @@ type Engine struct {
 // planEntry single-flights one configuration's partition search and
 // caches the derived kernel layout (views, working order, slot map) —
 // a pure function of the plan that would otherwise be rebuilt on every
-// request.
+// request. The direct-substrate artifacts ride along: the compiled
+// schedule (single-flighted like the plan) and a pool of executors,
+// since an Exec's retained arenas are single-request.
 type planEntry struct {
 	once   sync.Once
 	plan   *partition.Plan
 	layout *core.Layout
 	err    error
+
+	directOnce sync.Once
+	sched      *direct.Schedule
+	execs      sync.Pool
 }
 
 // poolKey identifies one machine pool: everything machine.New consumes.
@@ -281,7 +318,7 @@ func (e *Engine) planKey(cfg Config) partition.PlanKey {
 // the persistent worker goroutines of every pooled machine. Call it when
 // the engine is done serving — e.g. on server shutdown — after all
 // in-flight requests have completed; requests issued after Close still
-// work (they take the unbatched direct path, and a closed machine
+// work (they take the unbatched pool path, and a closed machine
 // respawns its workers on the next run) but lose the warm-worker and
 // fusion amortization. Close is idempotent.
 func (e *Engine) Close() {
@@ -336,6 +373,10 @@ func (e *Engine) Metrics() Metrics {
 		Cancelled:         e.cancelled.Load(),
 		Replans:           e.replans.Load(),
 		Unrecoverable:     e.unrecov.Load(),
+		DirectRequests:    e.directReq.Load(),
+		DirectBatches:     e.directBat.Load(),
+		OracleRuns:        e.oracleRuns.Load(),
+		ParityBreaks:      e.parityBreaks.Load(),
 	}
 }
 
@@ -486,7 +527,8 @@ func (e *Engine) DoContext(ctx context.Context, req Request) Result {
 }
 
 // do is DoContext's body: panic containment, validation, planning, then
-// dispatch — through a batching lane for sorts, or the direct pool path.
+// dispatch — through a batching lane for sorts, the direct substrate
+// for eligible sorts when batching is off, or the unbatched pool path.
 func (e *Engine) do(ctx context.Context, req Request) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -507,22 +549,29 @@ func (e *Engine) do(ctx context.Context, req Request) (res Result) {
 	if err != nil {
 		return Result{Err: err}
 	}
-	// Sorts go through the continuous-batching lanes; selection ops run
-	// their own internal multi-run protocols and stay on the direct
-	// path. A closed engine falls back to the direct path too.
+	// Sorts go through the continuous-batching lanes (whose dispatchers
+	// pick the substrate per batch); selection ops run their own
+	// internal multi-run protocols and stay on the unbatched path. A
+	// closed engine falls back to the unbatched path too.
 	if req.Op == OpSort && !e.batch.Disabled {
 		if res, handled := e.submit(ctx, key, cfg, entry, req); handled {
 			return res
 		}
 	}
-	return e.doDirect(ctx, key, cfg, entry, req)
+	// No lane took the request (batching disabled or engine closed):
+	// eligible sorts still get the direct substrate, unless this
+	// configuration's pool has chaos injections armed.
+	if e.directEligible(cfg, req.Op) && !e.poolArmed(key, cfg) {
+		return e.serveDirect(key, cfg, entry, req)
+	}
+	return e.doUnbatched(ctx, key, cfg, entry, req)
 }
 
-// doDirect is the pool-only path: lease a machine, run the request on
-// it, release. Used by every non-sort op, by sorts when batching is
-// disabled or the engine is closed, and by the dispatcher's failure
-// isolation re-runs.
-func (e *Engine) doDirect(ctx context.Context, key partition.PlanKey, cfg Config, entry *planEntry, req Request) Result {
+// doUnbatched is the pool-only path: lease a machine, run the request
+// on it, release. Used by every non-sort op, by simulated sorts when
+// batching is disabled or the engine is closed, and by the dispatcher's
+// failure isolation re-runs.
+func (e *Engine) doUnbatched(ctx context.Context, key partition.PlanKey, cfg Config, entry *planEntry, req Request) Result {
 	pl := e.poolFor(poolKey{pk: key, cost: cfg.Cost}, cfg)
 	var start time.Time
 	if e.em != nil {

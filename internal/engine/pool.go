@@ -145,6 +145,16 @@ func (p *pool) disarm() error {
 	return nil
 }
 
+// armed reports whether the pool's shared injection schedule is
+// non-empty. A cold pool (no template yet) is never armed: arm() forces
+// the template build, so an un-built pool cannot have been armed.
+func (p *pool) armed() bool {
+	p.mu.Lock()
+	t := p.template
+	p.mu.Unlock()
+	return t != nil && t.InjectionsArmed()
+}
+
 // close retires the persistent workers of every machine the pool built.
 // Callers must guarantee no request is still running on them.
 func (p *pool) close() {

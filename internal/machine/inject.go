@@ -208,6 +208,12 @@ func (m *Machine) Arm(injs ...Injection) error {
 // flight on any machine sharing the injector.
 func (m *Machine) DisarmInjections() { m.inj.sched.Store(nil) }
 
+// InjectionsArmed reports whether the machine (or any Clone sharing its
+// injector) has a non-empty injection schedule — fired entries included,
+// since a fired-but-not-disarmed schedule still shapes runs. One atomic
+// load; safe concurrently with runs, arming, and disarming.
+func (m *Machine) InjectionsArmed() bool { return len(m.inj.load()) > 0 }
+
 // FiredFaults returns the casualties so far: processors and links whose
 // injections have fired. Safe to call concurrently with runs (a fault
 // firing during the call may or may not be included).

@@ -131,6 +131,25 @@ type EngineMetrics struct {
 	// casualty to the recovered request completing (diagnosis round,
 	// replan, and degraded re-run included).
 	RecoveryLatency *Histogram
+
+	// Direct-mode instruments (the host-speed execution substrate; the
+	// simulator stays the oracle).
+
+	// DirectRequests counts requests served by the direct substrate (no
+	// machine lease, predicted Result); DirectBatches counts dispatcher
+	// batches executed directly.
+	DirectRequests *Counter
+	DirectBatches  *Counter
+	// OracleRuns counts sampled direct results re-executed on the
+	// simulator for cross-checking; DirectParityBreaks counts oracle runs
+	// whose sorted output differed from the direct output — any nonzero
+	// value is a bug in one substrate.
+	OracleRuns         *Counter
+	DirectParityBreaks *Counter
+	// DirectCostError is the distribution of |predicted − simulated|
+	// makespan error over oracle runs, in permille of the simulated
+	// makespan.
+	DirectCostError *Histogram
 }
 
 // NewEngineMetrics registers the engine bundle in r. Idempotent.
@@ -176,5 +195,15 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Casualties the engine could not replan around (caller saw ErrUnrecoverable)."),
 		RecoveryLatency: r.Histogram("hypersort_engine_recovery_latency_ns",
 			"Wall-clock nanoseconds from fatal injected casualty to recovered request completion."),
+		DirectRequests: r.Counter("hypersort_engine_direct_requests_total",
+			"Requests served by the direct host-speed substrate (no machine lease, predicted Result)."),
+		DirectBatches: r.Counter("hypersort_engine_direct_batches_total",
+			"Dispatcher batches executed on the direct substrate."),
+		OracleRuns: r.Counter("hypersort_engine_oracle_runs_total",
+			"Sampled direct results re-executed on the simulator oracle for cross-checking."),
+		DirectParityBreaks: r.Counter("hypersort_engine_direct_parity_breaks_total",
+			"Oracle runs whose sorted output differed from the direct output (any nonzero value is a bug)."),
+		DirectCostError: r.Histogram("hypersort_engine_direct_cost_error_permille",
+			"Absolute predicted-vs-simulated makespan error over oracle runs, in permille of the simulated makespan."),
 	}
 }
