@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,11 +9,25 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"time"
 
 	"hypersort"
 	"hypersort/internal/obs"
 	"hypersort/internal/trace"
 )
+
+// backend is what the handlers need from the serving layer — satisfied
+// by both *hypersort.Engine (the classic single-engine service) and
+// *hypersort.Cluster (the sharded router behind -shards), so the whole
+// handler set is topology-blind. InjectFault and DisarmFaults address
+// every shard on a cluster backend, which is exactly what a drill
+// wants: the router may serve a configuration from its home shard or
+// any replica.
+type backend interface {
+	SortBatchContext(ctx context.Context, reqs []hypersort.Request) []hypersort.Result
+	InjectFault(cfg hypersort.Config, injs ...hypersort.Injection) error
+	DisarmFaults(cfg hypersort.Config) error
+}
 
 // newMux assembles the service's routes. Factored out of main so the
 // conformance tests can drive the exact production handler set through
@@ -21,7 +36,13 @@ import (
 // safely either way. chaos gates the fault-injection endpoints (off by
 // default — arming kills against production traffic is a drill, not a
 // service feature).
-func newMux(eng *hypersort.Engine, ring *trace.Ring, chaos bool) *http.ServeMux {
+func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
+	// The queue-wait histogram feeds Retry-After on 503s. Retrieved by
+	// name (registration is idempotent) so the handlers work against any
+	// backend that instruments the shared engine bundle — which every
+	// Engine and Cluster does at construction.
+	queueWait := obs.Default().Histogram("hypersort_engine_queue_wait_ns",
+		"Nanoseconds a request waited for execution capacity (lane queue or machine-pool acquire).")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -40,11 +61,22 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring, chaos bool) *http.ServeMux 
 		if !requireGet(w, r) {
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"engine":   eng.Metrics(),
+		payload := map[string]any{
 			"memory":   readMemMetrics(),
 			"registry": obs.Default().Snapshot(),
-		})
+		}
+		switch be := eng.(type) {
+		case *hypersort.Engine:
+			payload["engine"] = be.Metrics()
+		case *hypersort.Cluster:
+			// Clusters report the shard-summed engine view under the same
+			// key dashboards already read, plus the router totals and the
+			// per-shard split.
+			cm := be.Metrics()
+			payload["engine"] = cm.Engine
+			payload["cluster"] = cm
+		}
+		writeJSON(w, http.StatusOK, payload)
 	})
 	// Chrome trace-event JSON of the most recent machine events — load
 	// the response in https://ui.perfetto.dev. ?last=N trims to the N
@@ -93,7 +125,7 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring, chaos bool) *http.ServeMux 
 		res := eng.SortBatchContext(r.Context(), []hypersort.Request{req})[0]
 		status := statusFor(res.Err)
 		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queueWait)))
 		}
 		writeJSON(w, status, toWire(req, res))
 	})
@@ -160,6 +192,27 @@ func newMux(eng *hypersort.Engine, ring *trace.Ring, chaos bool) *http.ServeMux 
 		})
 	}
 	return mux
+}
+
+// retryAfterSeconds derives the Retry-After hint for a 503 from the
+// observed p50 queue wait: if the median admitted request waits that
+// long for capacity, a shed request retrying sooner would likely just
+// be shed again. Ceiling to whole seconds with a floor of 1 — the
+// header's unit is seconds and "0" would invite an immediate hot retry
+// loop, the opposite of backpressure.
+func retryAfterSeconds(queueWait *obs.Histogram) int {
+	p50 := queueWait.Quantile(0.5)
+	secs := (p50 + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	// Cap the hint: the histogram's power-of-two bounds can overshoot by
+	// 2x, and telling clients to go away for minutes turns a transient
+	// spike into an outage of our own making.
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
 }
 
 // statusFor maps a per-request engine error to its HTTP status:

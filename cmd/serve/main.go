@@ -8,13 +8,23 @@
 //	serve -addr :8080 [-pool 4] [-workers 8] [-trace-buf 65536] [-trace-sample 1]
 //	serve [-mode auto|direct|sim] [-oracle-sample 0]
 //	serve [-no-batching] [-max-batch 32] [-max-linger 100us] [-admission-queue 256]
+//	serve [-shards 4] [-replicas 1] [-spill-high-water 16] [-shed-limit 256]
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
 //
 // Sort requests flow through the engine's continuous-batching
 // dispatcher: concurrent requests on the same configuration fuse into
 // one machine run. When a configuration's admission queue fills, the
 // affected requests answer 503 with Retry-After — backpressure, not
-// client error. -no-batching restores the unbatched per-request path.
+// client error; the Retry-After value is the ceiling of the observed
+// median queue wait (minimum 1s). -no-batching restores the unbatched
+// per-request path.
+//
+// -shards N runs N independent engine shards behind a consistent-hash
+// router instead of one engine: same-configuration traffic keeps fusing
+// within its home shard, hot configurations spill to -replicas replica
+// shards past -spill-high-water in-flight requests, and when home plus
+// replicas all reach -shed-limit the router sheds with the same 503
+// contract before the request touches any queue (see DESIGN.md §11).
 //
 // -mode selects the execution substrate. "sim" (the historical
 // behaviour) runs every sort on the simulated machine with measured
@@ -85,6 +95,10 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 0, "max sort requests fused into one machine run (0 = default)")
 		maxLinger   = flag.Duration("max-linger", 0, "how long the dispatcher holds a partial batch open for stragglers (0 = default)")
 		admission   = flag.Int("admission-queue", 0, "queued sorts allowed per configuration before 503s (0 = default)")
+		shards      = flag.Int("shards", 0, "engine shards behind the consistent-hash router (0 = classic single engine)")
+		replicas    = flag.Int("replicas", -1, "replica shards a hot plan key may spill to (-1 = default 1, 0 = spill off; needs -shards)")
+		spillHW     = flag.Int("spill-high-water", 0, "in-flight requests on a home shard before spilling to replicas (0 = default)")
+		shedLimit   = flag.Int("shed-limit", 0, "in-flight requests per shard before the router sheds with 503 (0 = default)")
 		mode        = flag.String("mode", "auto", "execution substrate: sim, direct, or auto")
 		oracle      = flag.Int("oracle-sample", 0, "cross-check 1 in N direct results on the simulator oracle (0 = off)")
 		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
@@ -119,8 +133,37 @@ func main() {
 		ring = trace.NewRing(*traceBuf, *traceSample)
 		ecfg.Trace = ring.Record
 	}
-	eng := hypersort.NewEngine(ecfg)
+	// -shards switches the serving backend from one engine to the
+	// consistent-hash sharded cluster; the handler set is identical
+	// either way (see the backend interface in handlers.go).
+	var be backend
+	var closeBackend func()
+	if *shards > 0 {
+		cl := hypersort.NewCluster(hypersort.ClusterConfig{
+			Shards:          *shards,
+			Replicas:        *replicas,
+			SpillHighWater:  *spillHW,
+			ShedLimit:       *shedLimit,
+			PoolSize:        ecfg.PoolSize,
+			BatchWorkers:    ecfg.BatchWorkers,
+			Trace:           ecfg.Trace,
+			DisableBatching: ecfg.DisableBatching,
+			MaxBatch:        ecfg.MaxBatch,
+			MaxLinger:       ecfg.MaxLinger,
+			AdmissionQueue:  ecfg.AdmissionQueue,
+			Mode:            ecfg.Mode,
+			OracleSample:    ecfg.OracleSample,
+		})
+		be, closeBackend = cl, cl.Close
+	} else {
+		eng := hypersort.NewEngine(ecfg)
+		be, closeBackend = eng, eng.Close
+	}
 	if *demo {
+		if *shards > 0 {
+			fatal(errors.New("-demo measures the single-engine amortization story; drop -shards"))
+		}
+		eng := be.(*hypersort.Engine)
 		defer eng.Close()
 		runDemo(eng, *requests, *m, *seed)
 		return
@@ -129,7 +172,7 @@ func main() {
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// requests, then retires the engine's pooled worker goroutines — the
 	// teardown half of the persistent-worker substrate.
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng, ring, *chaos)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(be, ring, *chaos)}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -140,12 +183,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		}
 	}()
-	fmt.Printf("serve: listening on %s (pool=%d workers=%d batching=%v mode=%s trace-buf=%d)\n", *addr, *pool, *workers, !*noBatching, execMode, *traceBuf)
+	fmt.Printf("serve: listening on %s (shards=%d pool=%d workers=%d batching=%v mode=%s trace-buf=%d)\n", *addr, *shards, *pool, *workers, !*noBatching, execMode, *traceBuf)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	eng.Close()
+	closeBackend()
 	fmt.Println("serve: drained, workers retired")
 }
 

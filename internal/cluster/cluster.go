@@ -1,0 +1,432 @@
+// Package cluster shards the request engine the way the paper shards a
+// faulty hypercube: N independent engine shards — each with its own plan
+// cache, machine pools, and dispatch lanes — behind a front router that
+// consistent-hashes requests by plan key, so traffic on one
+// configuration keeps landing on (and fusing within) one shard, and the
+// global mutexes a single engine serializes on (plan-key interning, lane
+// lookup, pool maps) split N ways.
+//
+// The router is the cluster's whole control plane, and it is lock-free:
+// an immutable hash ring, per-shard in-flight atomics, and three
+// decisions per request.
+//
+//   - Route: hash the configuration's canonical fingerprint, find its
+//     home shard on the ring. Same configuration, same shard — plan
+//     caches never duplicate work in the steady state.
+//   - Spill: when the home shard's in-flight count crosses the spill
+//     high-water mark, the request may land on one of the key's R
+//     replica shards instead (the ring successors of its home; least
+//     loaded wins). Each replica warms its own cached plan on first
+//     contact, so a hot configuration's capacity grows R+1 fold.
+//   - Shed: when every eligible shard — home and all replicas — is at
+//     the shed limit, the router refuses the request BEFORE it touches
+//     any queue, wrapping engine.ErrAdmissionRejected so the HTTP layer
+//     answers the same 503-with-Retry-After contract as per-shard
+//     admission. This is the cluster-wide backpressure the per-lane
+//     bounded queues cannot provide on their own.
+//
+// Direct-eligible sorts take an inline fast path: after the router
+// admits a request, the target shard serves it on the caller's
+// goroutine via Engine.DoDirect — no lane hop, no dispatcher handoff —
+// because for the direct substrate a lane adds admission control and
+// nothing else, and admission just happened at the router. Everything
+// else (simulated sorts, selection ops, armed-chaos configurations)
+// flows through the shard engine's ordinary dispatch lanes unchanged.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"hypersort/internal/engine"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
+	"hypersort/internal/partition"
+)
+
+// ErrSaturated is found (via errors.Is) in a Result.Err when the router
+// shed a request because its home shard and every replica candidate were
+// at the shed limit. It always wraps engine.ErrAdmissionRejected, so
+// callers that already map admission rejection to backpressure (503 +
+// Retry-After in cmd/serve) need no new case.
+var ErrSaturated = errors.New("cluster: all eligible shards saturated")
+
+// Options configures a Cluster. The zero value selects sensible
+// defaults: GOMAXPROCS shards, one replica, spill at twice the fused
+// batch depth, shed at the per-lane admission-queue bound.
+type Options struct {
+	// Shards is the number of independent engine shards. Values < 1
+	// select GOMAXPROCS — one shard per processor, the goroutine-domain
+	// analogue of one subcube per working partition.
+	Shards int
+	// Replicas is how many replica shards a hot plan key may spill to
+	// (its ring successors). 0 disables spill; values < 0 select the
+	// default (1). Clamped to Shards-1.
+	Replicas int
+	// SpillHighWater is the in-flight request count on a key's home
+	// shard above which the router considers spilling to a replica.
+	// Values < 1 select the default (2x the fused batch depth).
+	SpillHighWater int
+	// ShedLimit is the per-shard in-flight count at which a shard stops
+	// being eligible; when home and all replicas reach it the request is
+	// shed with ErrSaturated. Values < 1 select the default (the
+	// per-lane admission queue depth). Always normalized to exceed
+	// SpillHighWater, or spill could never precede shed.
+	ShedLimit int
+	// VirtualNodes is the ring points per shard. Values < 1 select the
+	// default (128), plenty for near-uniform spread at any realistic
+	// shard count.
+	VirtualNodes int
+
+	// PoolSize and Workers bound each shard's machine pool and batch
+	// concurrency (see engine.NewOpts); values < 1 mean GOMAXPROCS.
+	PoolSize int
+	Workers  int
+	// Batch tunes each shard's continuous-batching dispatcher.
+	Batch engine.BatchOptions
+	// Mode, OracleSample, and Trace are applied to every shard (see the
+	// corresponding Engine setters).
+	Mode         engine.Mode
+	OracleSample int
+	Trace        machine.TraceFunc
+}
+
+// shard is one engine shard plus the router-side load accounting for it.
+type shard struct {
+	id  int
+	eng *engine.Engine
+	// inflight counts requests dispatched to this shard and not yet
+	// completed — the load signal spill and shed thresholds compare
+	// against. Router-owned: the engine's own queue metrics stay
+	// engine-internal.
+	inflight atomic.Int64
+}
+
+// routeScratch is the per-request routing workspace, pooled so the
+// router allocates nothing in steady state.
+type routeScratch struct {
+	keyBuf []byte
+	cands  []int
+}
+
+// Cluster is N engine shards behind a consistent-hash router with
+// replica spill and cluster-wide load shedding. All methods are safe
+// for concurrent use.
+type Cluster struct {
+	shards   []*shard
+	ring     *ring
+	replicas int
+	spillHW  int64
+	shed     int64
+	workers  int
+
+	scratch sync.Pool // *routeScratch
+	shedErr error     // prebuilt: contents are static per cluster
+
+	requests atomic.Int64
+	spills   atomic.Int64
+	sheds    atomic.Int64
+
+	// cm is nil until Instrument; every consuming path guards on that.
+	cm *obs.ClusterMetrics
+}
+
+// New builds a cluster. Like the engine it fronts, it performs no
+// planning up front; each shard's plans and machines materialize as the
+// router first sends it traffic.
+func New(opts Options) *Cluster {
+	if opts.Shards < 1 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Replicas < 0 {
+		opts.Replicas = 1
+	}
+	if opts.Replicas > opts.Shards-1 {
+		opts.Replicas = opts.Shards - 1
+	}
+	maxBatch := opts.Batch.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 8 // engine.NewOpts's default fused depth
+	}
+	if opts.SpillHighWater < 1 {
+		opts.SpillHighWater = 2 * maxBatch
+	}
+	if opts.ShedLimit < 1 {
+		opts.ShedLimit = opts.Batch.QueueDepth
+		if opts.ShedLimit < 1 {
+			opts.ShedLimit = 256 // engine.NewOpts's default queue depth
+		}
+	}
+	if opts.ShedLimit <= opts.SpillHighWater {
+		opts.ShedLimit = opts.SpillHighWater + 1
+	}
+	if opts.VirtualNodes < 1 {
+		opts.VirtualNodes = 128
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Cluster{
+		ring:     newRing(opts.Shards, opts.VirtualNodes),
+		replicas: opts.Replicas,
+		spillHW:  int64(opts.SpillHighWater),
+		shed:     int64(opts.ShedLimit),
+		workers:  workers,
+	}
+	c.shedErr = fmt.Errorf("%w: %w (%d shards, %d replicas, shed limit %d in-flight)",
+		ErrSaturated, engine.ErrAdmissionRejected, opts.Shards, opts.Replicas, opts.ShedLimit)
+	for i := 0; i < opts.Shards; i++ {
+		e := engine.NewOpts(opts.PoolSize, opts.Workers, opts.Batch)
+		e.SetMode(opts.Mode)
+		e.SetOracleSample(opts.OracleSample)
+		if opts.Trace != nil {
+			e.SetTrace(opts.Trace)
+		}
+		c.shards = append(c.shards, &shard{id: i, eng: e})
+	}
+	return c
+}
+
+// NumShards returns the number of engine shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Instrument registers the cluster's observability bundles in r and
+// attaches them: the router's spill/shed counters, the decision-latency
+// histogram, one labelled request counter and in-flight gauge per
+// shard, and every shard engine's own bundles (shared instruments —
+// shards accumulate into one engine-level series set, while the
+// per-shard split lives in the cluster families). Call once, before the
+// cluster serves traffic.
+func (c *Cluster) Instrument(r *obs.Registry) {
+	c.cm = obs.NewClusterMetrics(r, len(c.shards))
+	for _, s := range c.shards {
+		s.eng.Instrument(r)
+	}
+}
+
+// Close shuts down every shard engine: dispatch lanes drain, pooled
+// machine workers retire. Idempotent, like Engine.Close.
+func (c *Cluster) Close() {
+	for _, s := range c.shards {
+		s.eng.Close()
+	}
+}
+
+// hashConfig fingerprints cfg into the scratch buffer and hashes it.
+// The fingerprint is partition.AppendKey's canonical encoding — the
+// same bytes the shard engines intern as their plan-cache keys — so
+// "same plan key" and "same shard" coincide by construction.
+func hashConfig(sc *routeScratch, cfg engine.Config) uint64 {
+	sc.keyBuf = partition.AppendKey(sc.keyBuf[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	return fnv1a(sc.keyBuf)
+}
+
+// route picks the shard for cfg: home unless spilling, least-loaded
+// candidate when spilling, nil plus the shed error when every candidate
+// is saturated. spilled reports a non-home choice.
+func (c *Cluster) route(cfg engine.Config) (target *shard, spilled bool, err error) {
+	var start time.Time
+	if c.cm != nil {
+		start = time.Now()
+	}
+	sc, _ := c.scratch.Get().(*routeScratch)
+	if sc == nil {
+		sc = &routeScratch{}
+	}
+	h := hashConfig(sc, cfg)
+	cands := c.ring.successors(h, c.replicas+1, sc.cands[:0])
+	home := c.shards[cands[0]]
+	target = home
+	if load := home.inflight.Load(); load >= c.spillHW {
+		// Home is hot: consider the replica set, least loaded first.
+		best, bestLoad := home, load
+		for _, i := range cands[1:] {
+			s := c.shards[i]
+			if l := s.inflight.Load(); l < bestLoad {
+				best, bestLoad = s, l
+			}
+		}
+		if bestLoad >= c.shed {
+			// argmin load >= shed limit means EVERY candidate is at the
+			// limit: cluster-wide backpressure, refused before any queue.
+			sc.cands = cands
+			c.scratch.Put(sc)
+			if c.cm != nil {
+				c.cm.Decision.Observe(time.Since(start).Nanoseconds())
+			}
+			return nil, false, c.shedErr
+		}
+		target, spilled = best, best != home
+	}
+	sc.cands = cands
+	c.scratch.Put(sc)
+	if c.cm != nil {
+		c.cm.Decision.Observe(time.Since(start).Nanoseconds())
+	}
+	return target, spilled, nil
+}
+
+// Candidates returns the shard ids eligible to serve cfg, home first,
+// then its replica candidates in ring order. Pure — the same
+// configuration always yields the same list on clusters of the same
+// shape — which is what the spill-determinism tests pin.
+func (c *Cluster) Candidates(cfg engine.Config) []int {
+	sc := &routeScratch{}
+	h := hashConfig(sc, cfg)
+	return c.ring.successors(h, c.replicas+1, nil)
+}
+
+// Do executes one request synchronously through the router. Errors —
+// shedding included — are reported in Result.Err, mirroring Engine.Do.
+func (c *Cluster) Do(req engine.Request) engine.Result {
+	return c.DoContext(context.Background(), req)
+}
+
+// DoContext is Do with deadline and cancellation awareness (the
+// semantics of Engine.DoContext, behind a routing decision).
+func (c *Cluster) DoContext(ctx context.Context, req engine.Request) engine.Result {
+	c.requests.Add(1)
+	cm := c.cm
+	if cm != nil {
+		cm.Requests.Inc()
+	}
+	s, spilled, err := c.route(req.Config)
+	if err != nil {
+		c.sheds.Add(1)
+		if cm != nil {
+			cm.Sheds.Inc()
+		}
+		return engine.Result{Err: err}
+	}
+	if spilled {
+		c.spills.Add(1)
+		if cm != nil {
+			cm.Spills.Inc()
+		}
+	}
+	s.inflight.Add(1)
+	if cm != nil {
+		cm.ShardRequests[s.id].Inc()
+		cm.ShardInflight[s.id].Add(1)
+	}
+	defer func() {
+		s.inflight.Add(-1)
+		if cm != nil {
+			cm.ShardInflight[s.id].Add(-1)
+		}
+	}()
+	// Inline fast path: a direct-eligible sort runs on this goroutine —
+	// the router already admitted it, so the lane's bounded queue (the
+	// only thing a lane adds to a direct batch) is redundant here.
+	if res, ok := s.eng.DoDirect(req); ok {
+		return res
+	}
+	return s.eng.DoContext(ctx, req)
+}
+
+// Batch executes the requests concurrently — at most the cluster's
+// worker bound in flight, each routed independently — and returns one
+// Result per request, in order, with per-request error isolation.
+func (c *Cluster) Batch(reqs []engine.Request) []engine.Result {
+	return c.BatchContext(context.Background(), reqs)
+}
+
+// BatchContext is Batch with a shared context: requests still waiting
+// when ctx is done return its error; running requests complete.
+func (c *Cluster) BatchContext(ctx context.Context, reqs []engine.Request) []engine.Result {
+	out := make([]engine.Result, len(reqs))
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = c.DoContext(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// InjectFault arms the live-fault schedule on EVERY shard's pool for
+// cfg: the router may serve the configuration from its home shard or,
+// under load, any replica, so a drill that armed only one shard would
+// silently miss spilled traffic. Arming continues past per-shard
+// failures; the joined error reports any shard that refused.
+func (c *Cluster) InjectFault(cfg engine.Config, injs ...machine.Injection) error {
+	var errs []error
+	for _, s := range c.shards {
+		if err := s.eng.InjectFault(cfg, injs...); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// DisarmFaults clears cfg's injection schedule on every shard, fired
+// entries included.
+func (c *Cluster) DisarmFaults(cfg engine.Config) error {
+	var errs []error
+	for _, s := range c.shards {
+		if err := s.eng.DisarmFaults(cfg); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Metrics is a snapshot of the cluster's lifetime counters: the routing
+// totals, the engine counters summed across shards, and each shard's
+// own engine counters (the per-shard view the chaos and spill tests
+// assert on).
+type Metrics struct {
+	// Requests counts requests that entered the router; Spills the
+	// subset steered to a replica shard; Sheds the subset refused with
+	// ErrSaturated.
+	Requests int64
+	Spills   int64
+	Sheds    int64
+	// Engine is the element-wise sum of Shards.
+	Engine engine.Metrics
+	// Shards holds each shard engine's own counters, indexed by shard id.
+	Shards []engine.Metrics
+}
+
+// Metrics returns a snapshot of the cluster's lifetime counters.
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{
+		Requests: c.requests.Load(),
+		Spills:   c.spills.Load(),
+		Sheds:    c.sheds.Load(),
+		Shards:   make([]engine.Metrics, len(c.shards)),
+	}
+	for i, s := range c.shards {
+		sm := s.eng.Metrics()
+		m.Shards[i] = sm
+		m.Engine.Requests += sm.Requests
+		m.Engine.PlanHits += sm.PlanHits
+		m.Engine.PlanMisses += sm.PlanMisses
+		m.Engine.MachinesBuilt += sm.MachinesBuilt
+		m.Engine.MachinesCloned += sm.MachinesCloned
+		m.Engine.FusedBatches += sm.FusedBatches
+		m.Engine.FusedRequests += sm.FusedRequests
+		m.Engine.AdmissionRejected += sm.AdmissionRejected
+		m.Engine.Cancelled += sm.Cancelled
+		m.Engine.Replans += sm.Replans
+		m.Engine.Unrecoverable += sm.Unrecoverable
+		m.Engine.DirectRequests += sm.DirectRequests
+		m.Engine.DirectBatches += sm.DirectBatches
+		m.Engine.OracleRuns += sm.OracleRuns
+		m.Engine.ParityBreaks += sm.ParityBreaks
+	}
+	return m
+}

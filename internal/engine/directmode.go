@@ -11,7 +11,9 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"slices"
+	"time"
 
 	"hypersort/internal/bitonic"
 	"hypersort/internal/direct"
@@ -170,6 +172,58 @@ func (e *Engine) shadowOracle(key partition.PlanKey, cfg Config, entry *planEntr
 		}
 		e.em.DirectCostError.Observe(int64(d) * 1000 / int64(sim.Res.Makespan))
 	}
+}
+
+// DoDirect serves req inline on the caller's goroutine if — and only if
+// — it is direct-eligible right now: direct mode selected, a sort on the
+// full-block protocol without distribution accounting, a valid
+// configuration whose plan exists (or builds cleanly), and no chaos
+// schedule armed on its pool. It returns (result, true) when it served
+// the request and (zero, false) when the caller should fall back to
+// DoContext — including on plan failure, so the ordinary path owns the
+// error accounting for doomed configurations.
+//
+// This is the cluster router's fast path: after the router has admitted
+// a request, a dispatch lane would add only its bounded admission queue
+// ahead of the same serveDirect call, so skipping the lane removes two
+// goroutine handoffs per request without weakening any protocol. Callers
+// that need admission control must provide their own (the cluster's
+// shed limit) — DoDirect itself never queues and never rejects.
+func (e *Engine) DoDirect(req Request) (res Result, ok bool) {
+	if !e.directEligible(req.Config, req.Op) {
+		return Result{}, false
+	}
+	if err := validate(req.Config); err != nil {
+		return Result{}, false
+	}
+	key := e.planKey(req.Config)
+	entry, err := e.plan(key, req.Config)
+	if err != nil {
+		return Result{}, false
+	}
+	if e.poolArmed(key, req.Config) {
+		return Result{}, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, ok = Result{Err: fmt.Errorf("engine: request panicked: %v", r)}, true
+		}
+	}()
+	em := e.em
+	var start time.Time
+	if em != nil {
+		start = time.Now()
+	}
+	res = e.serveDirect(key, req.Config, entry, req)
+	e.requests.Add(1)
+	if em != nil {
+		em.Requests.Inc()
+		if res.Err != nil {
+			em.Failures.Inc()
+		}
+		em.Latency.Observe(time.Since(start).Nanoseconds())
+	}
+	return res, true
 }
 
 // directOK reports whether this lane's batches may execute on the direct

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // This file defines the pre-wired metric bundles the rest of the
 // repository consumes: plain structs of registered instruments, so call
 // sites hold direct pointers (no name lookups anywhere near a hot path)
@@ -60,6 +62,57 @@ func NewMachineMetrics(r *Registry) *MachineMetrics {
 		QueueDepth: r.Histogram("hypersort_machine_queue_depth",
 			"Mailbox depth observed by blocked receivers (sampled 1-in-16 per node); messages."),
 	}
+}
+
+// ClusterMetrics is the shard router's bundle: cluster-wide routing
+// counters plus one labelled series per shard. The per-shard families
+// (ShardRequests, ShardInflight) are indexed by shard id, so the router
+// holds direct pointers and pays one atomic op per update, exactly like
+// every other bundle.
+type ClusterMetrics struct {
+	// Requests counts requests that entered the router (shed ones
+	// included); Spills counts requests steered off their home shard to a
+	// replica because the home crossed the spill high-water mark; Sheds
+	// counts requests refused before enqueueing because every eligible
+	// shard (home plus replicas) was saturated.
+	Requests *Counter
+	Spills   *Counter
+	Sheds    *Counter
+	// Decision is the distribution of nanoseconds the router spent
+	// choosing a shard (hash, ring walk, load reads) — the cluster layer's
+	// own overhead, separable from engine queueing.
+	Decision *Histogram
+	// ShardRequests counts requests dispatched to each shard;
+	// ShardInflight gauges each shard's requests currently in flight (the
+	// load signal the spill and shed thresholds compare against).
+	ShardRequests []*Counter
+	ShardInflight []*Gauge
+}
+
+// NewClusterMetrics registers the cluster bundle for a router of `shards`
+// shards in r. Idempotent per (name, shard) series: two clusters in one
+// process accumulate into the same families.
+func NewClusterMetrics(r *Registry, shards int) *ClusterMetrics {
+	cm := &ClusterMetrics{
+		Requests: r.Counter("hypersort_cluster_requests_total",
+			"Requests that entered the cluster router, shed ones included."),
+		Spills: r.Counter("hypersort_cluster_spills_total",
+			"Requests steered to a replica shard because the home shard crossed the spill high-water mark."),
+		Sheds: r.Counter("hypersort_cluster_sheds_total",
+			"Requests refused before enqueueing because every eligible shard was saturated."),
+		Decision: r.Histogram("hypersort_cluster_router_decision_ns",
+			"Nanoseconds the router spent choosing a shard (hash, ring walk, load reads)."),
+	}
+	for s := 0; s < shards; s++ {
+		id := fmt.Sprint(s)
+		cm.ShardRequests = append(cm.ShardRequests, r.LabeledCounter(
+			"hypersort_cluster_shard_requests_total",
+			"Requests dispatched to this shard.", "shard", id))
+		cm.ShardInflight = append(cm.ShardInflight, r.LabeledGauge(
+			"hypersort_cluster_shard_inflight",
+			"Requests currently in flight on this shard (the router's spill/shed load signal).", "shard", id))
+	}
+	return cm
 }
 
 // EngineMetrics is the request engine's bundle, recorded once per request

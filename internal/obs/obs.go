@@ -157,6 +157,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return m.gauge
 }
 
+// LabeledGauge registers (or retrieves) a gauge carrying one fixed label
+// pair — the gauge counterpart of LabeledCounter, used for per-shard
+// families (one series per cluster shard) without a label-set allocator
+// on the hot path.
+func (r *Registry) LabeledGauge(name, help, labelKey, labelValue string) *Gauge {
+	m := r.register(&metric{name: name, help: help, kind: kindGauge,
+		label: [2]string{labelKey, labelValue}, gauge: &Gauge{}})
+	return m.gauge
+}
+
 // GaugeFunc registers a gauge whose value is computed at scrape time by
 // fn (process memory, pool sizes). Re-registering the same name keeps the
 // first function.
