@@ -453,6 +453,29 @@ func BenchmarkCollectiveScatterGather(b *testing.B) {
 	}
 }
 
+// BenchmarkMultipathSort measures one congestion-priced multipath sort
+// (E24's hot-link cell) end to end: disjoint-path construction, striped
+// compare-splits, and the post-run link-occupancy replay.
+func BenchmarkMultipathSort(b *testing.B) {
+	b.ReportAllocs()
+	plan, err := partition.BuildPlanObjective(5, nil, partition.ObjectiveCongestion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := map[cube.Edge]machine.Time{cube.NewEdge(0, 1): 800}
+	m := machine.MustNew(machine.Config{
+		Dim: 5, Cost: machine.PaperCostModel(),
+		Routing: machine.RouteMultipath, HotLinks: hot,
+	})
+	keys := workload.MustGenerate(workload.Uniform, 4000, xrand.New(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.FTSort(m, plan, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLinkAwareRouting measures the DFS router with dead links.
 func BenchmarkLinkAwareRouting(b *testing.B) {
 	b.ReportAllocs()

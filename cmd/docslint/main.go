@@ -6,7 +6,13 @@
 //     method) carries a doc comment that begins with the identifier's
 //     name, per standard godoc style;
 //   - every relative link in the repository's Markdown files resolves
-//     to a file that exists.
+//     to a file that exists;
+//   - every flag declared by cmd/serve is documented in README.md or
+//     OBSERVABILITY.md, and every flag listed under OBSERVABILITY.md's
+//     "Running the service" heading is actually declared;
+//   - every experiment ID (E1, E24, ranges like E3-E6) referenced in
+//     the repository docs resolves to a unique EXPERIMENTS.md heading,
+//     and every heading is cited from CHANGES.md or DESIGN.md.
 //
 // Usage:
 //
@@ -51,6 +57,8 @@ func Lint(root string) []string {
 	var findings []string
 	findings = append(findings, LintGoDocs(root)...)
 	findings = append(findings, LintMarkdownLinks(root)...)
+	findings = append(findings, LintServeFlags(root)...)
+	findings = append(findings, LintExperimentIDs(root)...)
 	sort.Strings(findings)
 	return findings
 }

@@ -121,6 +121,116 @@ func TestLintMarkdownLinks(t *testing.T) {
 	}
 }
 
+// TestLintServeFlags proves both directions of the flag contract with
+// a synthetic tree: a declared-but-undocumented flag and a
+// documented-but-undeclared flag each produce exactly one finding, and
+// documentation in either README.md or OBSERVABILITY.md satisfies the
+// declared side.
+func TestLintServeFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "cmd", "serve"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+
+import "flag"
+
+func main() {
+	flag.String("addr", ":8080", "listen address")
+	flag.Bool("undoc", false, "nobody wrote this one up")
+	flag.Int("workers", 0, "worker count")
+	flag.Parse()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "cmd", "serve", "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	readme := "# readme\n\nRun with `-workers 4` for parallelism.\n"
+	obs := `# obs
+
+## Running the service
+
+` + "```\ngo run ./cmd/serve -addr :8080 [-workers 8]\n```\n" + `
+- ` + "`-addr`" + ` — listen address.
+- ` + "`-ghost`" + ` — this flag was deleted from main.go.
+
+## Another section
+
+Mentions of ` + "`-unrelated`" + ` outside the flag section are fine.
+`
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte(readme), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "OBSERVABILITY.md"), []byte(obs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := LintServeFlags(dir)
+	wants := []string{
+		"flag -undoc is not documented",
+		"flag -ghost is not declared",
+	}
+	for _, w := range wants {
+		if !anyContains(findings, w) {
+			t.Errorf("missing finding %q in %v", w, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+	// A root without cmd/serve is out of scope, not a failure.
+	if extra := LintServeFlags(t.TempDir()); len(extra) != 0 {
+		t.Errorf("serve-less root produced findings: %v", extra)
+	}
+}
+
+// TestLintExperimentIDs proves the experiment-namespace checks with a
+// synthetic doc set: a duplicate heading ID, a dangling reference, and
+// an uncited heading are each reported; range syntax (hyphen and
+// en-dash, with or without the second E) expands on both sides.
+func TestLintExperimentIDs(t *testing.T) {
+	dir := t.TempDir()
+	experiments := `# EXPERIMENTS
+
+## Table 1 (E1)
+
+## Sweep (E2-E4)
+
+## Duplicate (E2)
+
+## Orphan (E6)
+
+Body text citing E3 is fine; body text citing E9 dangles.
+`
+	changes := "PR 1: ships E1 and the E2–4 sweep.\n"
+	design := "The index covers E1 and nothing else.\n"
+	for name, data := range map[string]string{
+		"EXPERIMENTS.md": experiments,
+		"CHANGES.md":     changes,
+		"DESIGN.md":      design,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings := LintExperimentIDs(dir)
+	wants := []string{
+		"experiment E2 already declared",
+		"experiment E9 is referenced but has no EXPERIMENTS.md heading",
+		"experiment E6 is not referenced from CHANGES.md or DESIGN.md",
+	}
+	for _, w := range wants {
+		if !anyContains(findings, w) {
+			t.Errorf("missing finding %q in %v", w, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+	if extra := LintExperimentIDs(t.TempDir()); len(extra) != 0 {
+		t.Errorf("EXPERIMENTS-less root produced findings: %v", extra)
+	}
+}
+
 // anyContains reports whether any string in list contains sub.
 func anyContains(list []string, sub string) bool {
 	for _, s := range list {

@@ -58,7 +58,7 @@ func TestServeRetryAfterOnBackpressure(t *testing.T) {
 		MaxBatch:       1,
 		AdmissionQueue: 1,
 	})
-	srv := httptest.NewServer(newMux(eng, nil, false))
+	srv := httptest.NewServer(newMux(eng, nil, false, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -113,7 +113,7 @@ func newClusterTestServer(t *testing.T, chaos bool) (*httptest.Server, *hypersor
 		PoolSize:     1,
 		BatchWorkers: 2,
 	})
-	srv := httptest.NewServer(newMux(cl, nil, chaos))
+	srv := httptest.NewServer(newMux(cl, nil, chaos, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		cl.Close()

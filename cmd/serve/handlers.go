@@ -35,8 +35,9 @@ type backend interface {
 // an empty trace document rather than an error, so dashboards poll it
 // safely either way. chaos gates the fault-injection endpoints (off by
 // default — arming kills against production traffic is a drill, not a
-// service feature).
-func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
+// service feature). routing is the -routing default: requests that do
+// not name a "routing" policy themselves inherit it.
+func newMux(eng backend, ring *trace.Ring, chaos bool, routing hypersort.RoutingPolicy) *http.ServeMux {
 	// The queue-wait histogram feeds Retry-After on 503s. Retrieved by
 	// name (registration is idempotent) so the handlers work against any
 	// backend that instruments the shared engine bundle — which every
@@ -114,7 +115,7 @@ func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
 		if !readJSON(w, r, &wreq) {
 			return
 		}
-		req, err := wreq.toRequest()
+		req, err := wreq.toRequest(routing)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, wireResult{Err: err.Error()})
 			return
@@ -139,7 +140,7 @@ func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
 		reqs := make([]hypersort.Request, len(body.Requests))
 		preErr := make([]error, len(body.Requests))
 		for i, wr := range body.Requests {
-			reqs[i], preErr[i] = wr.toRequest()
+			reqs[i], preErr[i] = wr.toRequest(routing)
 		}
 		results := eng.SortBatchContext(r.Context(), reqs)
 		out := make([]wireResult, len(results))
@@ -163,7 +164,7 @@ func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
 			if !readJSON(w, r, &wi) {
 				return
 			}
-			cfg, inj, err := wi.toInjection()
+			cfg, inj, err := wi.toInjection(routing)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, err.Error())
 				return
@@ -179,7 +180,7 @@ func newMux(eng backend, ring *trace.Ring, chaos bool) *http.ServeMux {
 			if !readJSON(w, r, &wr) {
 				return
 			}
-			cfg, err := wr.toConfig()
+			cfg, err := wr.toConfig(routing)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, err.Error())
 				return
@@ -235,15 +236,17 @@ type wireRequest struct {
 	Dim        int        `json:"dim"`
 	Faults     []int64    `json:"faults,omitempty"`
 	LinkFaults [][2]int64 `json:"link_faults,omitempty"`
-	Model      string     `json:"model,omitempty"` // "partial" (default) or "total"
-	Op         string     `json:"op,omitempty"`    // "sort" (default), "kth", "median", "topk"
+	Model      string     `json:"model,omitempty"`   // "partial" (default) or "total"
+	Routing    string     `json:"routing,omitempty"` // "ecube" or "multipath" ("" = the -routing default)
+	Op         string     `json:"op,omitempty"`      // "sort" (default), "kth", "median", "topk"
 	K          int        `json:"k,omitempty"`
 	Keys       []int64    `json:"keys"`
 }
 
 // toConfig converts the wire form's configuration fields, rejecting
-// unknown fault-model strings.
-func (wr wireRequest) toConfig() (hypersort.Config, error) {
+// unknown fault-model and routing strings. defRouting fills in for
+// requests that leave "routing" empty — the server's -routing flag.
+func (wr wireRequest) toConfig(defRouting hypersort.RoutingPolicy) (hypersort.Config, error) {
 	cfg := hypersort.Config{Dim: wr.Dim}
 	for _, f := range wr.Faults {
 		cfg.Faults = append(cfg.Faults, hypersort.NodeID(f))
@@ -259,13 +262,23 @@ func (wr wireRequest) toConfig() (hypersort.Config, error) {
 	default:
 		return hypersort.Config{}, fmt.Errorf("unknown fault model %q", wr.Model)
 	}
+	switch wr.Routing {
+	case "":
+		cfg.Routing = defRouting
+	case "ecube":
+		cfg.Routing = hypersort.RouteECube
+	case "multipath":
+		cfg.Routing = hypersort.RouteMultipath
+	default:
+		return hypersort.Config{}, fmt.Errorf("unknown routing policy %q", wr.Routing)
+	}
 	return cfg, nil
 }
 
 // toRequest converts the wire form into a library request, rejecting
 // unknown enum strings.
-func (wr wireRequest) toRequest() (hypersort.Request, error) {
-	cfg, err := wr.toConfig()
+func (wr wireRequest) toRequest(defRouting hypersort.RoutingPolicy) (hypersort.Request, error) {
+	cfg, err := wr.toConfig(defRouting)
 	if err != nil {
 		return hypersort.Request{}, err
 	}
@@ -303,8 +316,8 @@ type wireInjection struct {
 
 // toInjection converts the wire form into the target configuration and
 // the scheduled casualty.
-func (wi wireInjection) toInjection() (hypersort.Config, hypersort.Injection, error) {
-	cfg, err := wi.toConfig()
+func (wi wireInjection) toInjection(defRouting hypersort.RoutingPolicy) (hypersort.Config, hypersort.Injection, error) {
+	cfg, err := wi.toConfig(defRouting)
 	if err != nil {
 		return hypersort.Config{}, hypersort.Injection{}, err
 	}

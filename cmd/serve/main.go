@@ -6,7 +6,7 @@
 // Usage:
 //
 //	serve -addr :8080 [-pool 4] [-workers 8] [-trace-buf 65536] [-trace-sample 1]
-//	serve [-mode auto|direct|sim] [-oracle-sample 0]
+//	serve [-mode auto|direct|sim] [-oracle-sample 0] [-routing ecube|multipath]
 //	serve [-no-batching] [-max-batch 32] [-max-linger 100us] [-admission-queue 256]
 //	serve [-shards 4] [-replicas 1] [-spill-high-water 16] [-shed-limit 256]
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
@@ -35,6 +35,15 @@
 // with the default tracing-on configuration means sim; pass
 // -trace-buf 0 to let auto serve direct. -oracle-sample N cross-checks
 // one in N direct results against the simulator.
+//
+// -routing selects the default compare-split routing policy. "ecube"
+// (the default) is the paper's dimension-order discipline with hop-count
+// pricing. "multipath" stripes large transfers across vertex-disjoint
+// paths and prices per-link queueing into the simulated makespan;
+// multipath requests always run on the simulator (never direct) and
+// take the unbatched pool path. A request may override the default with
+// its own "routing" field. See DESIGN.md §12 and the routing-modes
+// section of README.md.
 //
 // Endpoints:
 //
@@ -100,6 +109,7 @@ func main() {
 		spillHW     = flag.Int("spill-high-water", 0, "in-flight requests on a home shard before spilling to replicas (0 = default)")
 		shedLimit   = flag.Int("shed-limit", 0, "in-flight requests per shard before the router sheds with 503 (0 = default)")
 		mode        = flag.String("mode", "auto", "execution substrate: sim, direct, or auto")
+		routing     = flag.String("routing", "ecube", "default compare-split routing policy: ecube or multipath (per-request \"routing\" overrides)")
 		oracle      = flag.Int("oracle-sample", 0, "cross-check 1 in N direct results on the simulator oracle (0 = off)")
 		traceBuf    = flag.Int("trace-buf", 1<<16, "machine events kept for /v1/trace (0 disables tracing)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 of every N machine events")
@@ -116,6 +126,10 @@ func main() {
 	// window on demand.
 	var ring *trace.Ring
 	execMode, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	routePolicy, err := parseRouting(*routing)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,7 +186,7 @@ func main() {
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// requests, then retires the engine's pooled worker goroutines — the
 	// teardown half of the persistent-worker substrate.
-	srv := &http.Server{Addr: *addr, Handler: newMux(be, ring, *chaos)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(be, ring, *chaos, routePolicy)}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -183,7 +197,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		}
 	}()
-	fmt.Printf("serve: listening on %s (shards=%d pool=%d workers=%d batching=%v mode=%s trace-buf=%d)\n", *addr, *shards, *pool, *workers, !*noBatching, execMode, *traceBuf)
+	fmt.Printf("serve: listening on %s (shards=%d pool=%d workers=%d batching=%v mode=%s routing=%s trace-buf=%d)\n", *addr, *shards, *pool, *workers, !*noBatching, execMode, routePolicy, *traceBuf)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -253,6 +267,17 @@ func runDemo(eng *hypersort.Engine, requests, m int, seed uint64) {
 	agg := hypersort.SumStats(results)
 	fmt.Printf("simulated totals: critical-path makespan=%d comparisons=%d key-hops=%d\n",
 		agg.Makespan, agg.Comparisons, agg.KeyHops)
+}
+
+// parseRouting maps the -routing flag to the default routing policy.
+func parseRouting(s string) (hypersort.RoutingPolicy, error) {
+	switch s {
+	case "ecube":
+		return hypersort.RouteECube, nil
+	case "multipath":
+		return hypersort.RouteMultipath, nil
+	}
+	return hypersort.RouteECube, fmt.Errorf("serve: unknown -routing %q (want ecube or multipath)", s)
 }
 
 // parseMode maps the -mode flag to an execution substrate.

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *hypersort.Engine) {
 	t.Helper()
 	ring := trace.NewRing(4096, 1)
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 2, BatchWorkers: 2, Trace: ring.Record})
-	srv := httptest.NewServer(newMux(eng, ring, true))
+	srv := httptest.NewServer(newMux(eng, ring, true, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -323,7 +323,7 @@ func TestServeStatusMapping(t *testing.T) {
 func TestServeBatchedSortsCoalesce(t *testing.T) {
 	ring := trace.NewRing(1024, 1)
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 1, BatchWorkers: 16, Trace: ring.Record, MaxLinger: 2 * time.Millisecond})
-	srv := httptest.NewServer(newMux(eng, ring, true))
+	srv := httptest.NewServer(newMux(eng, ring, true, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

@@ -50,7 +50,7 @@ func TestServeParseMode(t *testing.T) {
 func newModeServer(t *testing.T, mode hypersort.ExecMode) (*httptest.Server, *hypersort.Engine) {
 	t.Helper()
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 1, BatchWorkers: 2, Mode: mode})
-	srv := httptest.NewServer(newMux(eng, nil, true))
+	srv := httptest.NewServer(newMux(eng, nil, true, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -239,7 +239,7 @@ func TestServeSimModeNeverDirect(t *testing.T) {
 func TestServeAutoModeTracedServesSim(t *testing.T) {
 	ring := trace.NewRing(1024, 1)
 	eng := hypersort.NewEngine(hypersort.EngineConfig{PoolSize: 1, BatchWorkers: 2, Mode: hypersort.ModeAuto, Trace: ring.Record})
-	srv := httptest.NewServer(newMux(eng, ring, false))
+	srv := httptest.NewServer(newMux(eng, ring, false, hypersort.RouteECube))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

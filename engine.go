@@ -374,6 +374,7 @@ func engineConfig(cfg Config) (engine.Config, error) {
 		Cost:                cfg.Cost,
 		Protocol:            cfg.Protocol,
 		AccountDistribution: cfg.AccountDistribution,
+		Routing:             cfg.Routing,
 	}, nil
 }
 

@@ -85,6 +85,21 @@ const (
 // Config.Trace.
 type TraceEvent = machine.TraceEvent
 
+// RoutingPolicy selects how compare-split traffic is routed and priced.
+type RoutingPolicy = machine.RoutingPolicy
+
+// Routing policy values: RouteECube (default) is the classic
+// deterministic dimension-order discipline with hop-count pricing — the
+// paper's model, bit-identical to every prior release. RouteMultipath
+// stripes large transfers across vertex-disjoint paths and prices
+// per-link queueing: the partition heuristic switches to the
+// congestion-aware objective and Stats.Makespan includes modeled link
+// wait. See DESIGN.md §12.
+const (
+	RouteECube     = machine.RouteSingle
+	RouteMultipath = machine.RouteMultipath
+)
+
 // Config assembles a fault-tolerant sorter.
 type Config struct {
 	// Dim is the hypercube dimension n (2^n processors).
@@ -106,6 +121,9 @@ type Config struct {
 	// AccountDistribution includes the host scatter/gather of keys in
 	// the simulated time (the paper's cost model excludes it).
 	AccountDistribution bool
+	// Routing selects the compare-split routing policy (default
+	// RouteECube, the paper's hop-priced dimension-order discipline).
+	Routing RoutingPolicy
 	// Trace, if non-nil, receives every simulator event during Sort; it
 	// is called concurrently from processor goroutines and must be safe
 	// for concurrent use (see internal/trace.Recorder).
@@ -178,7 +196,11 @@ func New(cfg Config) (*Sorter, error) {
 	if len(faults) >= 1<<uint(cfg.Dim) {
 		return nil, fmt.Errorf("hypersort: %d faults leave no working processor on Q_%d", len(faults), cfg.Dim)
 	}
-	plan, err := partition.BuildPlan(cfg.Dim, faults)
+	obj := partition.ObjectiveHops
+	if cfg.Routing == RouteMultipath {
+		obj = partition.ObjectiveCongestion
+	}
+	plan, err := partition.BuildPlanObjective(cfg.Dim, faults, obj)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +217,7 @@ func New(cfg Config) (*Sorter, error) {
 		Model:      cfg.Model,
 		Cost:       cfg.Cost,
 		LinkFaults: links,
+		Routing:    cfg.Routing,
 		Trace:      cfg.Trace,
 	})
 	if err != nil {

@@ -224,7 +224,7 @@ func (c *Cluster) Close() {
 // same bytes the shard engines intern as their plan-cache keys — so
 // "same plan key" and "same shard" coincide by construction.
 func hashConfig(sc *routeScratch, cfg engine.Config) uint64 {
-	sc.keyBuf = partition.AppendKey(sc.keyBuf[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	sc.keyBuf = partition.AppendKeyRouting(sc.keyBuf[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model), int(cfg.Routing))
 	return fnv1a(sc.keyBuf)
 }
 

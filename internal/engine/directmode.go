@@ -17,6 +17,7 @@ import (
 
 	"hypersort/internal/bitonic"
 	"hypersort/internal/direct"
+	"hypersort/internal/machine"
 	"hypersort/internal/partition"
 )
 
@@ -82,8 +83,12 @@ func (e *Engine) directEligible(cfg Config, op Op) bool {
 	}
 	// Half-exchange requests ask for the paper's literal two-round wire
 	// protocol and AccountDistribution charges simulated distribution
-	// time — both are simulator semantics with no direct analogue.
-	return op == OpSort && cfg.Protocol == bitonic.FullBlock && !cfg.AccountDistribution
+	// time — both are simulator semantics with no direct analogue. Nor
+	// has multipath routing one: direct.Predict reproduces the hop-only
+	// §3 model, so a congestion-aware makespan would be silently wrong
+	// — such plans are declared direct-ineligible instead.
+	return op == OpSort && cfg.Protocol == bitonic.FullBlock &&
+		!cfg.AccountDistribution && cfg.Routing == machine.RouteSingle
 }
 
 // poolArmed reports whether the configuration's machine pool has chaos

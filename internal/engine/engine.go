@@ -55,6 +55,13 @@ type Config struct {
 	Cost                machine.CostModel
 	Protocol            bitonic.Protocol
 	AccountDistribution bool
+	// Routing selects the machine's path discipline (default
+	// RouteSingle). RouteMultipath requests get congestion-aware plans,
+	// congestion-priced machines, and — because the occupancy replay is
+	// a per-run pass — the unbatched pool path instead of fused
+	// dispatch lanes; they are also never direct-eligible (the §3
+	// predictor has no congestion model).
+	Routing machine.RoutingPolicy
 }
 
 // Op selects what a Request computes.
@@ -300,7 +307,7 @@ func (e *Engine) planKey(cfg Config) partition.PlanKey {
 	if bp == nil {
 		bp = new([]byte)
 	}
-	b := partition.AppendKey((*bp)[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model))
+	b := partition.AppendKeyRouting((*bp)[:0], cfg.Dim, cfg.Faults, cfg.LinkFaults, int(cfg.Model), int(cfg.Routing))
 	e.mu.Lock()
 	pk, ok := e.pkIntern[string(b)]
 	if !ok {
@@ -431,7 +438,14 @@ func (e *Engine) plan(key partition.PlanKey, cfg Config) (*planEntry, error) {
 		}
 	}
 	entry.once.Do(func() {
-		entry.plan, entry.err = partition.BuildPlan(cfg.Dim, cube.NewNodeSet(cfg.Faults...))
+		// Multipath configurations score cutting sequences with the
+		// congestion-aware objective; the plan key already carries the
+		// routing policy, so the two plan families never collide.
+		obj := partition.ObjectiveHops
+		if cfg.Routing == machine.RouteMultipath {
+			obj = partition.ObjectiveCongestion
+		}
+		entry.plan, entry.err = partition.BuildPlanObjective(cfg.Dim, cube.NewNodeSet(cfg.Faults...), obj)
 		if entry.err == nil {
 			entry.layout = core.NewLayout(entry.plan)
 		}
@@ -463,6 +477,7 @@ func (e *Engine) poolFor(key poolKey, cfg Config) *pool {
 				Model:      cfg.Model,
 				Cost:       cfg.Cost,
 				LinkFaults: links,
+				Routing:    cfg.Routing,
 				Trace:      e.trace,
 				Metrics:    e.mm,
 			})
@@ -551,9 +566,11 @@ func (e *Engine) do(ctx context.Context, req Request) (res Result) {
 	}
 	// Sorts go through the continuous-batching lanes (whose dispatchers
 	// pick the substrate per batch); selection ops run their own
-	// internal multi-run protocols and stay on the unbatched path. A
+	// internal multi-run protocols and stay on the unbatched path, and
+	// so do congestion-priced (multipath) sorts — their occupancy
+	// replay is a per-run pass that fused sessions cannot segment. A
 	// closed engine falls back to the unbatched path too.
-	if req.Op == OpSort && !e.batch.Disabled {
+	if req.Op == OpSort && !e.batch.Disabled && cfg.Routing == machine.RouteSingle {
 		if res, handled := e.submit(ctx, key, cfg, entry, req); handled {
 			return res
 		}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/machine"
+	"hypersort/internal/workload"
+	"hypersort/internal/xrand"
+)
+
+// TestMultipathSortThroughEngine: a RouteMultipath request plans with
+// the congestion objective, runs on a congestion-priced machine, and
+// still returns the reference ordering. The plan key must diverge from
+// the single-path key for the same configuration, while the single-path
+// key stays byte-identical to the pre-routing encoding.
+func TestMultipathSortThroughEngine(t *testing.T) {
+	e := New(2, 2)
+	defer e.Close()
+	keys := workload.MustGenerate(workload.Uniform, 2000, xrand.New(7))
+	cfg := Config{Dim: 4, Faults: []cube.NodeID{3}, Routing: machine.RouteMultipath}
+	res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !keysEqual(res.Keys, sortedRef(keys)) {
+		t.Fatal("multipath engine sort diverges from reference")
+	}
+	if res.Res.StripedSends == 0 {
+		t.Error("multipath run striped nothing")
+	}
+
+	single := cfg
+	single.Routing = machine.RouteSingle
+	if e.planKey(cfg) == e.planKey(single) {
+		t.Error("routing policy not part of the plan key")
+	}
+}
+
+// TestMultipathNeverDirect: direct mode must refuse multipath requests
+// — Predict models hop-only pricing, so a direct result would carry a
+// silently wrong makespan. The request still succeeds, on the
+// simulator.
+func TestMultipathNeverDirect(t *testing.T) {
+	e := New(2, 2)
+	defer e.Close()
+	e.SetMode(ModeDirect)
+	keys := workload.MustGenerate(workload.Uniform, 1500, xrand.New(3))
+	cfg := Config{Dim: 4, Routing: machine.RouteMultipath}
+	res := e.Do(Request{Config: cfg, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Direct {
+		t.Error("multipath request served direct")
+	}
+	if !keysEqual(res.Keys, sortedRef(keys)) {
+		t.Fatal("fallback sort diverges from reference")
+	}
+	// The hop-only sibling is still direct-eligible.
+	ecube := cfg
+	ecube.Routing = machine.RouteSingle
+	res = e.Do(Request{Config: ecube, Op: OpSort, Keys: keys})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Direct {
+		t.Error("single-path request lost direct eligibility")
+	}
+}
+
+// TestMultipathBypassesLanes: congestion-priced sorts cannot join fused
+// batch sessions (the occupancy replay is per run), so the dispatcher
+// must route them down the unbatched pool path — observable as zero
+// batched requests after a multipath burst.
+func TestMultipathBypassesLanes(t *testing.T) {
+	e := New(2, 4)
+	defer e.Close()
+	cfg := Config{Dim: 3, Routing: machine.RouteMultipath}
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{
+			Config: cfg, Op: OpSort,
+			Keys: workload.MustGenerate(workload.Uniform, 600, xrand.New(uint64(i+1))),
+		}
+	}
+	for _, res := range e.Batch(reqs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if m := e.Metrics(); m.FusedBatches != 0 || m.FusedRequests != 0 {
+		t.Errorf("multipath requests joined a fused batch: %+v", m)
+	}
+}

@@ -1,0 +1,268 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/routing"
+	"hypersort/internal/sortutil"
+)
+
+// This file is the machine half of multi-path routing and link
+// congestion. Two deterministic mechanisms, both inert unless the
+// configuration opts in (Config.Routing = RouteMultipath, or a non-empty
+// Config.HotLinks):
+//
+//  1. Inline pricing. Send walks the memoized disjoint paths of the
+//     (src, dst) pair and prices each path edge by edge — per-key
+//     transfer, per-hop startup, plus the per-traversal surcharge of any
+//     hot link. Large transfers are striped across the vertex-disjoint
+//     paths when the modeled arrival improves: each path carries a
+//     contiguous segment, the sender pays the worst first-edge injection
+//     (the NCUBE's per-link DMA channels inject in parallel), and the
+//     message arrives when its slowest segment does. Everything is
+//     computed from the sender's own clock and immutable path sets, so
+//     virtual time stays exactly as deterministic as the single-path
+//     model.
+//
+//  2. Post-run occupancy replay. Queueing on shared links cannot be
+//     charged inline without making results depend on host scheduling
+//     (two concurrent goroutines reserving the same link's occupancy
+//     table would race, and busy-until reservation is not commutative).
+//     Instead every congested send appends a record to its node's local
+//     log; after the run the logs are merged, sorted by the
+//     deterministic key (departure time, sender, sequence), and replayed
+//     through a per-edge busy-until table advanced in virtual time. The
+//     replay yields the per-link queueing waits, the per-dimension wait
+//     split, the hottest link's traversal count, and the latest queued
+//     delivery time — and the run's makespan is raised to that delivery
+//     time, so concurrent messages on one edge serialize in the reported
+//     result instead of riding for free.
+//
+// Exact bit-compatibility conditions are documented in DESIGN.md §12:
+// with Routing == RouteSingle and no hot links, none of this code runs
+// and every result is identical to the hop-only model.
+
+// RoutingPolicy selects the machine's path discipline.
+type RoutingPolicy int
+
+const (
+	// RouteSingle is the legacy discipline: one path per message
+	// (e-cube, or DFS fault-avoiding under the total model), priced by
+	// hop count alone. The default.
+	RouteSingle RoutingPolicy = iota
+	// RouteMultipath constructs vertex-disjoint path sets per pair and
+	// stripes large transfers across them, with congestion-aware
+	// pricing (hot-link surcharges inline, link queueing in the
+	// post-run replay).
+	RouteMultipath
+)
+
+// String implements fmt.Stringer.
+func (r RoutingPolicy) String() string {
+	if r == RouteMultipath {
+		return "multipath"
+	}
+	return "ecube"
+}
+
+// stripeMinKeys is the smallest payload Send considers striping: below
+// it the per-path startup overhead dominates whatever the parallel
+// links save, and the modeled-arrival comparison would reject the
+// stripe anyway — this constant just skips the arithmetic.
+const stripeMinKeys = 32
+
+// congestion is the machine's congestion-pricing state, shared by
+// Clones (all fields immutable after New).
+type congestion struct {
+	mpr *routing.MultiPathRouter
+	// hot maps an edge to the extra virtual time every traversal of it
+	// pays (a hot link: contended by outside traffic, degraded, or
+	// chaos-injected by an experiment).
+	hot map[cube.Edge]Time
+	// multipath enables striping; false means hot-link pricing only
+	// (Routing == RouteSingle with HotLinks set).
+	multipath bool
+}
+
+// hotCost returns the surcharge for traversing edge a-b.
+func (cs *congestion) hotCost(a, b cube.NodeID) Time {
+	if len(cs.hot) == 0 {
+		return 0
+	}
+	return cs.hot[cube.NewEdge(a, b)]
+}
+
+// pathCost prices moving keys along path p: per edge, the per-hop
+// startup, the per-key transfer, and the hot surcharge. first is the
+// price of the initial edge (the sender-serializing injection), rest
+// the store-and-forward remainder.
+func (cs *congestion) pathCost(p routing.Path, keys int, c CostModel) (first, rest Time) {
+	if p.Hops() == 0 {
+		return 0, 0
+	}
+	perHop := c.Startup + Time(keys)*c.Elem
+	first = perHop + cs.hotCost(p[0], p[1])
+	for i := 2; i < len(p); i++ {
+		rest += perHop + cs.hotCost(p[i-1], p[i])
+	}
+	return first, rest
+}
+
+// sendRec is one congested segment's replay record, logged by the
+// sender into its node-local slice (no cross-goroutine state touched
+// during the run).
+type sendRec struct {
+	depart  Time // sender's clock when Send was called
+	seq     int64
+	src     cube.NodeID
+	dst     cube.NodeID
+	pathIdx int32
+	keys    int32
+}
+
+// sendCongested is Send's congestion-priced body: route over the
+// memoized disjoint paths, stripe when it helps, log for the replay.
+// Counter and trace semantics mirror the plain path; the payload is
+// delivered as one reassembled message (segments are contiguous ranges
+// in path order, so reassembly is a single copy and bit-identical by
+// construction).
+func (p *Proc) sendCongested(cs *congestion, dst cube.NodeID, tag Tag, keys []sortutil.Key) {
+	paths, err := cs.mpr.Paths(p.nd.id, dst)
+	if err != nil {
+		p.fail(fmt.Errorf("machine: node %d cannot reach %d: %w", p.nd.id, dst, err))
+	}
+	c := p.m.cfg.Cost
+	depart := p.nd.clock
+
+	// Single-path plan: everything on the primary path.
+	first0, rest0 := cs.pathCost(paths[0], len(keys), c)
+	single := first0 + rest0
+
+	// Striped plan: contiguous segments across the disjoint paths,
+	// injected in parallel (sender pays the worst first edge), arriving
+	// when the slowest segment does.
+	var segs []int
+	if cs.multipath && len(paths) > 1 && len(keys) >= stripeMinKeys {
+		segs = routing.SplitSegments(len(keys), len(paths))
+		var worstFirst, worstTotal Time
+		for i, n := range segs {
+			f, r := cs.pathCost(paths[i], n, c)
+			if f > worstFirst {
+				worstFirst = f
+			}
+			if f+r > worstTotal {
+				worstTotal = f + r
+			}
+		}
+		if worstTotal >= single {
+			segs = nil // striping would not improve the modeled arrival
+		} else {
+			first0 = worstFirst
+			single = worstTotal
+		}
+	}
+
+	p.nd.clock += first0 // injection serializes at the sender
+	arrival := depart + single
+	if arrival < p.nd.clock {
+		arrival = p.nd.clock
+	}
+
+	payload := p.payloadGet(len(keys))
+	copy(payload, keys)
+	nseg := 1
+	if segs != nil {
+		nseg = len(segs)
+		p.nd.striped++
+	}
+	p.nd.msgsSent += int64(nseg)
+	p.nd.keysSent += int64(len(keys))
+	if segs != nil {
+		for i, n := range segs {
+			p.nd.keyHops += int64(n) * int64(paths[i].Hops())
+			p.nd.slog = append(p.nd.slog, sendRec{depart: depart, seq: p.nd.seq, src: p.nd.id, dst: dst, pathIdx: int32(i), keys: int32(n)})
+			p.nd.seq++
+		}
+	} else {
+		p.nd.keyHops += int64(len(keys)) * int64(paths[0].Hops())
+		p.nd.slog = append(p.nd.slog, sendRec{depart: depart, seq: p.nd.seq, src: p.nd.id, dst: dst, pathIdx: 0, keys: int32(len(keys))})
+		p.nd.seq++
+	}
+	p.m.nodes[dst].box.put(message{src: p.nd.id, tag: tag, arrival: arrival, keys: payload})
+	if p.m.cfg.Trace != nil {
+		p.m.emit(TraceEvent{Node: p.nd.id, Kind: TraceSend, Peer: dst, Tag: tag, Keys: len(keys), Hops: paths[0].Hops(), Time: p.nd.clock})
+	}
+}
+
+// congStats is the replay's output.
+type congStats struct {
+	linkWait Time    // total virtual time segments queued behind busy links
+	perDim   []int64 // linkWait split by link dimension
+	maxOcc   int64   // traversal count of the hottest single link
+	latest   Time    // latest queued delivery time (raises the makespan)
+}
+
+// replayCongestion merges every node's send log, orders it by the
+// deterministic key (departure time, sender address, per-sender
+// sequence), and replays it through a per-edge busy-until table: a
+// segment reaching an edge before the edge's previous occupant has
+// drained waits for it. Called once per run, after all kernel
+// goroutines have finished; determinism follows because both the log
+// contents (virtual times) and the replay order are independent of host
+// scheduling.
+func (m *Machine) replayCongestion() congStats {
+	cs := m.cong
+	recs := m.replayBuf[:0]
+	for _, nd := range m.nodes {
+		recs = append(recs, nd.slog...)
+	}
+	m.replayBuf = recs
+	st := congStats{perDim: make([]int64, m.h.Dim())}
+	if len(recs) == 0 {
+		return st
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.depart != b.depart {
+			return a.depart < b.depart
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	busy := make(map[cube.Edge]Time, len(recs))
+	occ := make(map[cube.Edge]int64, len(recs))
+	c := m.cfg.Cost
+	for _, rec := range recs {
+		paths, err := cs.mpr.Paths(rec.src, rec.dst)
+		if err != nil || int(rec.pathIdx) >= len(paths) {
+			continue // cannot happen: the send already routed this pair
+		}
+		path := paths[rec.pathIdx]
+		perHop := c.Startup + Time(rec.keys)*c.Elem
+		t := rec.depart
+		for i := 1; i < len(path); i++ {
+			e := cube.NewEdge(path[i-1], path[i])
+			if n := occ[e] + 1; n > st.maxOcc {
+				st.maxOcc = n
+			}
+			occ[e]++
+			if b := busy[e]; b > t {
+				w := b - t
+				st.linkWait += w
+				st.perDim[e.Dim()] += int64(w)
+				t = b
+			}
+			dur := perHop + cs.hotCost(path[i-1], path[i])
+			busy[e] = t + dur
+			t += dur
+		}
+		if t > st.latest {
+			st.latest = t
+		}
+	}
+	return st
+}

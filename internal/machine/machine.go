@@ -101,6 +101,18 @@ type Config struct {
 	// paper's model allows "faulty processors/links"; a dead link always
 	// blocks traffic regardless of the processor fault model).
 	LinkFaults cube.EdgeSet
+	// Routing selects the path discipline. RouteSingle (the default)
+	// keeps the legacy single-path, hop-priced model bit-identical to
+	// previous releases. RouteMultipath routes over vertex-disjoint path
+	// sets, stripes large transfers across them, and turns on
+	// congestion pricing (see congestion.go).
+	Routing RoutingPolicy
+	// HotLinks assigns an extra per-traversal virtual-time surcharge to
+	// individual links — the hot-link scenario (outside contention, a
+	// degraded wire, or chaos injection). A non-empty map turns on
+	// congestion pricing even under RouteSingle, so single- and
+	// multi-path runs against the same hot links are comparable.
+	HotLinks map[cube.Edge]Time
 	// Trace, if non-nil, receives every send, receive, and compute event
 	// during runs. It is called from processor goroutines concurrently
 	// and must be safe for concurrent use.
@@ -143,6 +155,12 @@ type Machine struct {
 	// bufs) so arming a pool's template arms the whole pool. Disarmed it
 	// costs one atomic nil-load per Proc operation; see inject.go.
 	inj *injector
+	// cong is the congestion-pricing state (multipath routing and/or hot
+	// links), nil for legacy configurations — one nil check in Send is
+	// the entire hot-path cost of the feature. Immutable, shared with
+	// Clones. replayBuf is this machine's private replay scratch.
+	cong      *congestion
+	replayBuf []sendRec
 
 	// Execution substrate state, reused across Runs so the steady state
 	// allocates nothing per call.
@@ -186,6 +204,14 @@ type node struct {
 	compares    int64
 	recvWaits   int64
 	barrierWait int64 // virtual time absorbed synchronizing to barrier maxima
+
+	// congestion state, owned by the node's goroutine and used only
+	// when the machine prices congestion: the send log the post-run
+	// replay consumes, its per-sender sequence counter, and the count
+	// of transfers actually striped across multiple paths.
+	slog    []sendRec
+	seq     int64
+	striped int64
 }
 
 // New builds the machine. It returns an error if the configuration is
@@ -211,8 +237,39 @@ func New(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("machine: link fault %v outside Q_%d", e, cfg.Dim)
 		}
 	}
+	if cfg.Routing != RouteSingle && cfg.Routing != RouteMultipath {
+		return nil, fmt.Errorf("machine: unknown routing policy %d", int(cfg.Routing))
+	}
+	for e, d := range cfg.HotLinks {
+		if !h.Contains(e.A) || !h.Contains(e.B) || cube.HammingDistance(e.A, e.B) != 1 {
+			return nil, fmt.Errorf("machine: hot link %v is not an edge of Q_%d", e, cfg.Dim)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("machine: negative hot-link surcharge on %v", e)
+		}
+	}
 	m := &Machine{h: h, cfg: cfg}
 	switch {
+	case cfg.Routing == RouteMultipath || len(cfg.HotLinks) > 0:
+		// Congestion pricing: paths come from the multi-path router so
+		// the inline pricing and the post-run occupancy replay agree on
+		// every edge a message crosses. Single-path configurations with
+		// hot links use the same router clamped to one path per pair.
+		var nf cube.NodeSet
+		if cfg.Model == Total {
+			nf = cfg.Faults
+		}
+		maxPaths := 1
+		if cfg.Routing == RouteMultipath {
+			maxPaths = cfg.Dim
+		}
+		mpr := routing.NewMultiPathRouter(h, nf, cfg.LinkFaults, maxPaths)
+		m.router = mpr
+		hot := make(map[cube.Edge]Time, len(cfg.HotLinks))
+		for e, d := range cfg.HotLinks {
+			hot[cube.NewEdge(e.A, e.B)] = d
+		}
+		m.cong = &congestion{mpr: mpr, hot: hot, multipath: cfg.Routing == RouteMultipath}
 	case len(cfg.LinkFaults) > 0 && cfg.Model == Total:
 		m.router = routing.NewLinkAwareRouter(h, cfg.Faults, cfg.LinkFaults)
 	case len(cfg.LinkFaults) > 0:
@@ -253,7 +310,7 @@ func New(cfg Config) (*Machine, error) {
 // Clone may be called while the source machine is mid-Run: it reads only
 // immutable configuration.
 func (m *Machine) Clone() *Machine {
-	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper, hamming: m.hamming, inj: m.inj}
+	c := &Machine{h: m.h, cfg: m.cfg, router: m.router, healthy: m.healthy, bufs: m.bufs, hopper: m.hopper, hamming: m.hamming, inj: m.inj, cong: m.cong}
 	c.nodes = make([]*node, m.h.Size())
 	for i := range c.nodes {
 		id := cube.NodeID(i)
@@ -316,6 +373,17 @@ type Result struct {
 	// a rough measure of synchronization stalls (diagnostic only; it does
 	// not affect virtual time).
 	RecvWaits int64
+	// LinkWait is the total virtual time messages queued behind busy
+	// links in the post-run occupancy replay. Zero unless the machine
+	// prices congestion (Config.Routing or Config.HotLinks), in which
+	// case the Makespan already includes the latest queued delivery.
+	LinkWait Time
+	// MaxLinkOccupancy is the traversal count of the hottest single
+	// link during the run (congestion-priced runs only).
+	MaxLinkOccupancy int64
+	// StripedSends counts transfers actually split across multiple
+	// disjoint paths (RouteMultipath only).
+	StripedSends int64
 	// PerNode holds each participant's final clock keyed by address.
 	PerNode map[cube.NodeID]Time
 }
@@ -386,8 +454,23 @@ func (m *Machine) RunInto(participants []cube.NodeID, kernel Kernel, perNode map
 		res.KeyHops += nd.keyHops
 		res.Comparisons += nd.compares
 		res.RecvWaits += nd.recvWaits
+		res.StripedSends += nd.striped
 		barrierWait += nd.barrierWait
 		res.PerNode[id] = nd.clock
+	}
+	if m.cong != nil {
+		// Serialize concurrent traffic on shared links: replay the send
+		// logs through the per-edge occupancy table and raise the
+		// makespan to the latest queued delivery (see congestion.go).
+		st := m.replayCongestion()
+		res.LinkWait = st.linkWait
+		res.MaxLinkOccupancy = st.maxOcc
+		if st.latest > res.Makespan {
+			res.Makespan = st.latest
+		}
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.FlushCongestion(int64(st.linkWait), st.perDim, st.maxOcc, res.StripedSends)
+		}
 	}
 	// One flush per run: eight atomic adds, regardless of how many
 	// millions of events the run produced.
@@ -469,6 +552,7 @@ func (m *Machine) resetNodes() {
 		nd.clock = 0
 		nd.msgsSent, nd.keysSent, nd.keyHops, nd.compares, nd.recvWaits = 0, 0, 0, 0, 0
 		nd.barrierWait = 0
+		nd.slog, nd.seq, nd.striped = nd.slog[:0], 0, 0
 		// Undelivered payloads from an aborted previous run go back to
 		// the pool: no kernel goroutine is alive to reference them.
 		for _, msg := range nd.box.reset() {

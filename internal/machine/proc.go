@@ -114,6 +114,12 @@ func (p *Proc) Send(dst cube.NodeID, tag Tag, keys []sortutil.Key) {
 	if p.m.cfg.Model == Total && p.m.cfg.Faults.Has(dst) {
 		p.fail(fmt.Errorf("machine: node %d sent to totally faulty node %d", p.nd.id, dst))
 	}
+	if cs := p.m.cong; cs != nil {
+		// Congestion-priced configurations (multipath routing or hot
+		// links) take the path-walking branch; see congestion.go.
+		p.sendCongested(cs, dst, tag, keys)
+		return
+	}
 	var hops int
 	if p.m.hamming {
 		hops = cube.HammingDistance(p.nd.id, dst)

@@ -118,6 +118,13 @@ type fusedNodeStats struct {
 // handle from a previous, closed session aliases the new one: use the
 // handle OpenSession returned, not a stale one.
 func (m *Machine) OpenSession(participants []cube.NodeID) (*Session, error) {
+	if m.cong != nil {
+		// The congestion replay runs once per run over per-sub-run send
+		// logs; fused batches would interleave the logs of independent
+		// sub-runs. Congestion-priced configurations use Run/RunInto
+		// (the engine routes them around its dispatch lanes).
+		return nil, fmt.Errorf("machine: sessions do not support congestion-priced configurations (multipath routing or hot links)")
+	}
 	if err := m.markParticipants(participants); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // This file defines the pre-wired metric bundles the rest of the
 // repository consumes: plain structs of registered instruments, so call
@@ -37,6 +40,49 @@ type MachineMetrics struct {
 	// walking the mailbox). Sustained large depths indicate link
 	// congestion — a peer is producing faster than its partner consumes.
 	QueueDepth *Histogram
+
+	// Link-congestion instruments, flushed once per congestion-priced
+	// run (multipath routing or hot links armed); legacy runs never
+	// touch them.
+
+	// LinkWait is the per-run distribution of total virtual time
+	// messages queued behind busy links in the occupancy replay.
+	LinkWait *Histogram
+	// MaxLinkOccupancy gauges the traversal count of the hottest single
+	// link in the most recent congestion-priced run.
+	MaxLinkOccupancy *Gauge
+	// StripedTransfers counts transfers split across multiple disjoint
+	// paths.
+	StripedTransfers *Counter
+
+	// linkWaitDim holds the per-dimension link-wait histogram family,
+	// one series per hypercube dimension, grown on demand (the bundle
+	// does not know the machine dimension at registration time).
+	reg         *Registry
+	dimMu       sync.Mutex
+	linkWaitDim []*Histogram
+}
+
+// FlushCongestion records one congestion-priced run's replay output:
+// the total link wait (overall histogram plus the per-dimension family),
+// the hottest link's traversal count, and the striped-transfer count.
+func (mm *MachineMetrics) FlushCongestion(linkWait int64, perDim []int64, maxOcc, striped int64) {
+	mm.LinkWait.Observe(linkWait)
+	mm.MaxLinkOccupancy.Set(maxOcc)
+	mm.StripedTransfers.Add(striped)
+	mm.dimMu.Lock()
+	for len(mm.linkWaitDim) < len(perDim) {
+		d := len(mm.linkWaitDim)
+		mm.linkWaitDim = append(mm.linkWaitDim, mm.reg.LabeledHistogram(
+			"hypersort_machine_link_wait_dim_vtime",
+			"Per-run virtual time messages queued behind busy links, split by link dimension; cost-model units.",
+			"dim", fmt.Sprint(d)))
+	}
+	dims := mm.linkWaitDim[:len(perDim)]
+	mm.dimMu.Unlock()
+	for d, w := range perDim {
+		dims[d].Observe(w)
+	}
 }
 
 // NewMachineMetrics registers the machine bundle in r. Idempotent: the
@@ -61,6 +107,13 @@ func NewMachineMetrics(r *Registry) *MachineMetrics {
 			"Per-run simulated completion time, in cost-model units."),
 		QueueDepth: r.Histogram("hypersort_machine_queue_depth",
 			"Mailbox depth observed by blocked receivers (sampled 1-in-16 per node); messages."),
+		LinkWait: r.Histogram("hypersort_machine_link_wait_vtime",
+			"Per-run virtual time messages queued behind busy links in the congestion replay; cost-model units."),
+		MaxLinkOccupancy: r.Gauge("hypersort_machine_link_max_occupancy",
+			"Traversal count of the hottest single link in the most recent congestion-priced run."),
+		StripedTransfers: r.Counter("hypersort_machine_striped_transfers_total",
+			"Transfers split across multiple vertex-disjoint paths by multipath routing."),
+		reg: r,
 	}
 }
 

@@ -182,6 +182,15 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return m.hist
 }
 
+// LabeledHistogram registers (or retrieves) a histogram carrying one
+// fixed label pair — the histogram counterpart of LabeledCounter, used
+// for per-dimension families (one series per hypercube dimension).
+func (r *Registry) LabeledHistogram(name, help, labelKey, labelValue string) *Histogram {
+	m := r.register(&metric{name: name, help: help, kind: kindHistogram,
+		label: [2]string{labelKey, labelValue}, hist: &Histogram{}})
+	return m.hist
+}
+
 // SnapshotValue is one metric's state in a Snapshot.
 type SnapshotValue struct {
 	// Kind is "counter", "gauge", or "histogram".

@@ -33,6 +33,16 @@ func KeyFor(dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) Pl
 	return PlanKey(AppendKey(nil, dim, faults, links, model))
 }
 
+// KeyForRouting is KeyFor extended with the routing policy (as an
+// integer, for the same import-cycle reason as model). Policy 0 — the
+// legacy single-path discipline — appends nothing, so every
+// pre-multipath key (and therefore every cached plan, pool, and cluster
+// ring position for default configurations) is byte-identical to what
+// KeyFor produces.
+func KeyForRouting(dim int, faults []cube.NodeID, links [][2]cube.NodeID, model, routing int) PlanKey {
+	return PlanKey(AppendKeyRouting(nil, dim, faults, links, model, routing))
+}
+
 // AppendKey appends KeyFor's canonical fingerprint bytes to dst and
 // returns the extended slice, KeyFor with caller-controlled allocation:
 // request paths that fingerprint a configuration per call build the key
@@ -40,6 +50,12 @@ func KeyFor(dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) Pl
 // paying the string construction on every lookup. For typical fault
 // counts the canonicalization scratch lives on the stack.
 func AppendKey(dst []byte, dim int, faults []cube.NodeID, links [][2]cube.NodeID, model int) []byte {
+	return AppendKeyRouting(dst, dim, faults, links, model, 0)
+}
+
+// AppendKeyRouting is AppendKey extended with the routing policy; see
+// KeyForRouting for the zero-policy compatibility guarantee.
+func AppendKeyRouting(dst []byte, dim int, faults []cube.NodeID, links [][2]cube.NodeID, model, routing int) []byte {
 	dst = append(dst, 'n')
 	dst = strconv.AppendInt(dst, int64(dim), 10)
 	dst = append(dst, "|md"...)
@@ -89,6 +105,10 @@ func AppendKey(dst []byte, dim int, faults []cube.NodeID, links [][2]cube.NodeID
 		dst = strconv.AppendInt(dst, int64(e.a), 10)
 		dst = append(dst, '-')
 		dst = strconv.AppendInt(dst, int64(e.b), 10)
+	}
+	if routing != 0 {
+		dst = append(dst, "|r"...)
+		dst = strconv.AppendInt(dst, int64(routing), 10)
 	}
 	return dst
 }

@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"fmt"
+
+	"hypersort/internal/cube"
+)
+
+// This file adds the congestion-aware variant of the §3 selection
+// heuristic. The paper's formula (1) charges a cutting sequence by hop
+// count alone: Σ_i max(h_i), the worst extra Hamming distance a
+// reindexed compare-exchange pair pays per cross-subcube dimension.
+// Hops are congestion-blind — two reindexed pairs whose detour routes
+// share a link serialize on it, and the hop objective cannot see that.
+//
+// ObjectiveCongestion models the sharing: for each cross-subcube
+// dimension, lay the e-cube route of every reindexed pair onto the
+// subcube's local (w-space) links, count how many routes load each
+// link, and charge every pair its hop count plus the queueing exposure
+// along its route (Σ per route edge of load-1 — the transfers that must
+// drain first in the worst case). The objective stays a deterministic
+// integer, so plan selection remains reproducible and cacheable; the
+// legacy hop objective is untouched and remains the default.
+
+// Objective selects the cutting-sequence scoring rule of the §3
+// heuristic.
+type Objective int
+
+const (
+	// ObjectiveHops is the paper's formula (1): hop count only. The
+	// default — plans built with it are bit-identical to previous
+	// releases.
+	ObjectiveHops Objective = iota
+	// ObjectiveCongestion charges hop count plus modeled link wait on
+	// shared route edges (used for multipath/congestion-priced
+	// configurations).
+	ObjectiveCongestion
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveHops:
+		return "hops"
+	case ObjectiveCongestion:
+		return "congestion"
+	}
+	return "objective(?)"
+}
+
+// ExtraCommCostCongestion evaluates the congestion-aware objective for
+// an ordered cutting sequence: formula (1)'s per-dimension maximum over
+// fault pairs of (Hamming distance + modeled link wait), summed over
+// cross-subcube dimensions. The link wait of a pair is the number of
+// other pairs' e-cube route segments sharing its route's edges — the
+// worst-case serialization the occupancy replay would charge.
+func ExtraCommCostCongestion(h cube.Hypercube, faults cube.NodeSet, d cube.CutSequence) (int, error) {
+	sp, err := cube.NewSplit(h, d)
+	if err != nil {
+		return 0, err
+	}
+	if !sp.IsSingleFault(faults) {
+		return 0, fmt.Errorf("partition: %v does not yield a single-fault structure", d)
+	}
+	faultW := make([]int64, sp.NumSubcubes())
+	for i := range faultW {
+		faultW[i] = -1
+	}
+	for f := range faults {
+		faultW[sp.V(f)] = int64(sp.W(f))
+	}
+	type wpair struct{ a, b cube.NodeID }
+	total := 0
+	for i := 0; i < sp.M(); i++ {
+		// Collect this dimension's reindexed pairs, then lay their
+		// dimension-order routes onto the w-space links to count
+		// per-edge load.
+		var pairs []wpair
+		for v := 0; v < sp.NumSubcubes(); v++ {
+			if cube.Bit(cube.NodeID(v), i) != 0 {
+				continue
+			}
+			nb := int(sp.NeighborSubcube(cube.NodeID(v), i))
+			if faultW[v] < 0 || faultW[nb] < 0 {
+				continue
+			}
+			pairs = append(pairs, wpair{cube.NodeID(faultW[v]), cube.NodeID(faultW[nb])})
+		}
+		load := make(map[cube.Edge]int)
+		for _, p := range pairs {
+			walkECube(p.a, p.b, func(x, y cube.NodeID) { load[cube.NewEdge(x, y)]++ })
+		}
+		maxCost := 0
+		for _, p := range pairs {
+			cost := cube.HammingDistance(p.a, p.b)
+			walkECube(p.a, p.b, func(x, y cube.NodeID) { cost += load[cube.NewEdge(x, y)] - 1 })
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		total += maxCost
+	}
+	return total, nil
+}
+
+// walkECube visits the edges of the dimension-order route from a to b
+// (correct differing bits ascending — the same discipline every e-cube
+// path in the repository uses).
+func walkECube(a, b cube.NodeID, visit func(x, y cube.NodeID)) {
+	cur := a
+	for _, d := range cube.DifferingDims(a, b) {
+		next := cube.FlipBit(cur, d)
+		visit(cur, next)
+		cur = next
+	}
+}
+
+// SelectObjective is Select under a caller-chosen objective: among the
+// sequences of Ψ it returns the one minimizing the objective, breaking
+// ties toward the first (lexicographically smallest, matching the
+// paper's choice of D_1 in Example 2).
+func SelectObjective(h cube.Hypercube, faults cube.NodeSet, set CutSet, obj Objective) (cube.CutSequence, int, error) {
+	if len(set.Sequences) == 0 {
+		return nil, 0, fmt.Errorf("partition: empty cutting set")
+	}
+	score := ExtraCommCost
+	switch obj {
+	case ObjectiveHops:
+	case ObjectiveCongestion:
+		score = ExtraCommCostCongestion
+	default:
+		return nil, 0, fmt.Errorf("partition: unknown objective %d", int(obj))
+	}
+	best := -1
+	bestCost := 0
+	for i, d := range set.Sequences {
+		cost, err := score(h, faults, d)
+		if err != nil {
+			return nil, 0, err
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return set.Sequences[best].Clone(), bestCost, nil
+}
+
+// BuildPlanObjective is BuildPlan under a caller-chosen objective.
+// BuildPlan itself delegates here with ObjectiveHops, so legacy plans
+// are bit-identical to previous releases.
+func BuildPlanObjective(n int, faults cube.NodeSet, obj Objective) (*Plan, error) {
+	h := cube.New(n)
+	if faults == nil {
+		faults = cube.NewNodeSet()
+	}
+	set, err := FindCuttingSet(h, faults)
+	if err != nil {
+		return nil, err
+	}
+	chosen, cost, err := SelectObjective(h, faults, set, obj)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := cube.NewSplit(h, chosen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Cube:      h,
+		Faults:    faults.Clone(),
+		Set:       set,
+		Chosen:    chosen,
+		ExtraComm: cost,
+		Split:     sp,
+	}
+	p.assignDead()
+	return p, nil
+}

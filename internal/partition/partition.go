@@ -186,21 +186,7 @@ func ExtraCommCost(h cube.Hypercube, faults cube.NodeSet, d cube.CutSequence) (i
 // first (lexicographically smallest, matching the paper's choice of D_1
 // in Example 2). The chosen sequence's cost is returned alongside.
 func Select(h cube.Hypercube, faults cube.NodeSet, set CutSet) (cube.CutSequence, int, error) {
-	if len(set.Sequences) == 0 {
-		return nil, 0, fmt.Errorf("partition: empty cutting set")
-	}
-	best := -1
-	bestCost := 0
-	for i, d := range set.Sequences {
-		cost, err := ExtraCommCost(h, faults, d)
-		if err != nil {
-			return nil, 0, err
-		}
-		if best < 0 || cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	return set.Sequences[best].Clone(), bestCost, nil
+	return SelectObjective(h, faults, set, ObjectiveHops)
 }
 
 // DanglingW applies the paper's balance heuristic: the dangling processor

@@ -41,32 +41,7 @@ type Plan struct {
 // search can separate (the paper's regime is r <= n-1, but the algorithm
 // itself extends to any set admitting a single-fault structure).
 func BuildPlan(n int, faults cube.NodeSet) (*Plan, error) {
-	h := cube.New(n)
-	if faults == nil {
-		faults = cube.NewNodeSet()
-	}
-	set, err := FindCuttingSet(h, faults)
-	if err != nil {
-		return nil, err
-	}
-	chosen, cost, err := Select(h, faults, set)
-	if err != nil {
-		return nil, err
-	}
-	sp, err := cube.NewSplit(h, chosen)
-	if err != nil {
-		return nil, err
-	}
-	p := &Plan{
-		Cube:      h,
-		Faults:    faults.Clone(),
-		Set:       set,
-		Chosen:    chosen,
-		ExtraComm: cost,
-		Split:     sp,
-	}
-	p.assignDead()
-	return p, nil
+	return BuildPlanObjective(n, faults, ObjectiveHops)
 }
 
 // BuildPlanWithSequence builds a plan around a caller-chosen cutting

@@ -17,6 +17,14 @@ func (e ErrNoPathLinks) Error() string {
 	return fmt.Sprintf("routing: no path from %d to %d avoiding faulty links", e.Src, e.Dst)
 }
 
+// Unwrap exposes the plain no-path error for the same pair, so callers
+// can errors.Is / errors.As against ErrNoPath without caring which
+// fault flavour (processors only, or processors and links) blocked the
+// route.
+func (e ErrNoPathLinks) Unwrap() error {
+	return ErrNoPath{Src: e.Src, Dst: e.Dst}
+}
+
 // FaultAvoidingLinks returns a path from src to dst traversing neither a
 // faulty intermediate processor nor a faulty link — the router for the
 // paper's broader "faulty processors/links" model (§1). Like

@@ -1,0 +1,281 @@
+package routing
+
+import (
+	"sync"
+
+	"hypersort/internal/cube"
+)
+
+// This file implements multi-path routing: a constructor for
+// vertex-disjoint path sets between a hypercube pair, and a Router that
+// serves them so the machine can stripe one large compare-split transfer
+// across several links at once.
+//
+// The construction follows the classic rotation argument (and the
+// many-to-many disjoint-paths result for faulty hypercubes of Li, Liu,
+// Ma & Xu — see PAPERS.md): between nodes at Hamming distance h, the h
+// rotations of the differing-dimension sequence yield h internally
+// vertex-disjoint shortest paths, and each non-differing dimension d
+// yields one more path of length h+2 that first steps "sideways" along
+// d and steps back at the end. Faults puncture individual candidates;
+// a DFS repair constrained to avoid the intermediates of the paths
+// already accepted restores them whenever the surviving cube allows.
+
+// DisjointPaths returns up to k pairwise internally vertex-disjoint
+// paths from src to dst, each avoiding the given faulty processors
+// (intermediates only — endpoints source and sink their own traffic,
+// as everywhere in this package) and faulty links.
+//
+// k is clamped to [1, n]: an n-cube has exactly n vertex-disjoint paths
+// between any pair (Menger), so asking for more can never succeed.
+// Fewer than k paths may be returned when faults consume the spare
+// connectivity; the call fails only when not even one path exists —
+// with ErrNoPathLinks when link faults are present, ErrNoPath
+// otherwise. For src == dst the single trivial path is returned.
+//
+// The result is deterministic: candidates are generated in a fixed
+// order (dimension rotations ascending by start index, then detour
+// dimensions ascending) and the DFS repair explores dimensions in the
+// same fixed order as FaultAvoiding.
+func DisjointPaths(h cube.Hypercube, src, dst cube.NodeID, k int, nodeFaults cube.NodeSet, linkFaults cube.EdgeSet) ([]Path, error) {
+	if src == dst {
+		return []Path{{src}}, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if n := h.Dim(); k > n {
+		k = n
+	}
+	diff := cube.DifferingDims(src, dst)
+	used := make(map[cube.NodeID]bool, h.Size())
+	paths := make([]Path, 0, k)
+
+	accept := func(p Path) {
+		for i := 1; i < len(p)-1; i++ {
+			used[p[i]] = true
+		}
+		paths = append(paths, p)
+	}
+	usable := func(p Path) bool {
+		if !p.AvoidsFaults(nodeFaults) || !p.AvoidsLinkFaults(linkFaults) {
+			return false
+		}
+		for i := 1; i < len(p)-1; i++ {
+			if used[p[i]] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Candidate family 1: the h rotations of the differing-dimension
+	// sequence. Rotation i corrects diff[i], diff[i+1], ..., wrapping —
+	// its intermediates have corrected exactly one cyclic interval of
+	// diff starting at i, and two distinct proper cyclic intervals with
+	// different starts are different sets, so the fault-free candidates
+	// are pairwise internally disjoint by construction.
+	for i := 0; i < len(diff) && len(paths) < k; i++ {
+		p := Path{src}
+		cur := src
+		for j := 0; j < len(diff); j++ {
+			cur = cube.FlipBit(cur, diff[(i+j)%len(diff)])
+			p = append(p, cur)
+		}
+		if usable(p) {
+			accept(p)
+		} else if rp := repairPath(h, src, dst, nodeFaults, linkFaults, used); rp != nil {
+			accept(rp)
+		}
+	}
+	// Candidate family 2: length h+2 detours through each non-differing
+	// dimension d — step along d, correct the differing dimensions in
+	// ascending order, step back. Every intermediate has bit d flipped
+	// relative to both families above, so disjointness is preserved.
+	for d := 0; d < h.Dim() && len(paths) < k; d++ {
+		if cube.Bit(src, d) != cube.Bit(dst, d) {
+			continue
+		}
+		cur := cube.FlipBit(src, d)
+		p := Path{src, cur}
+		for _, dd := range diff {
+			cur = cube.FlipBit(cur, dd)
+			p = append(p, cur)
+		}
+		p = append(p, dst)
+		if usable(p) {
+			accept(p)
+		} else if rp := repairPath(h, src, dst, nodeFaults, linkFaults, used); rp != nil {
+			accept(rp)
+		}
+	}
+	if len(paths) == 0 {
+		if len(linkFaults) > 0 {
+			return nil, ErrNoPathLinks{Src: src, Dst: dst}
+		}
+		return nil, ErrNoPath{Src: src, Dst: dst}
+	}
+	return paths, nil
+}
+
+// repairPath searches for a replacement path when a constructed
+// candidate hits a fault or an already-used intermediate: a DFS in the
+// style of dfsAvoidLinks additionally forbidden from entering the
+// intermediates of the accepted paths, so whatever it finds extends the
+// disjoint set. Returns nil when no such path exists.
+func repairPath(h cube.Hypercube, src, dst cube.NodeID, nodeFaults cube.NodeSet, linkFaults cube.EdgeSet, used map[cube.NodeID]bool) Path {
+	visited := make(map[cube.NodeID]bool, h.Size())
+	visited[src] = true
+	return dfsDisjoint(h, src, dst, nodeFaults, linkFaults, used, visited, Path{src})
+}
+
+// dfsDisjoint mirrors dfsAvoidLinks with the extra blocked set of
+// intermediates already claimed by accepted paths.
+func dfsDisjoint(h cube.Hypercube, cur, dst cube.NodeID, nodeFaults cube.NodeSet, linkFaults cube.EdgeSet, blocked, visited map[cube.NodeID]bool, path Path) Path {
+	profitable := cube.DifferingDims(cur, dst)
+	inProfit := make(map[int]bool, len(profitable))
+	for _, d := range profitable {
+		inProfit[d] = true
+	}
+	order := append([]int(nil), profitable...)
+	for d := 0; d < h.Dim(); d++ {
+		if !inProfit[d] {
+			order = append(order, d)
+		}
+	}
+	for _, d := range order {
+		next := cube.FlipBit(cur, d)
+		if linkFaults.Has(cur, next) {
+			continue
+		}
+		if next == dst {
+			return append(path, next)
+		}
+		if visited[next] || blocked[next] || nodeFaults.Has(next) {
+			continue
+		}
+		visited[next] = true
+		if p := dfsDisjoint(h, next, dst, nodeFaults, linkFaults, blocked, visited, append(path, next)); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// SplitSegments divides total keys into at most k contiguous segments
+// as evenly as possible (the first total%k segments get one extra key).
+// k is clamped so no segment is empty; total 0 yields a single empty
+// segment. The boundaries depend only on (total, k), which is what
+// makes striped transfers reassemble bit-identically: sender and
+// receiver agree on the layout without negotiation.
+func SplitSegments(total, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > total {
+		k = total
+	}
+	if k == 0 {
+		return []int{0}
+	}
+	segs := make([]int, k)
+	base, rem := total/k, total%k
+	for i := range segs {
+		segs[i] = base
+		if i < rem {
+			segs[i]++
+		}
+	}
+	return segs
+}
+
+// MultiPathRouter serves memoized disjoint path sets. Route and Hops
+// answer with the primary (first) path, so the router drops into the
+// single-path Router/HopCounter machinery unchanged; the machine's
+// striping path calls Paths to get the whole set. Fault sets are fixed
+// at construction, so a pair's path set never changes and the memo is
+// shared by every machine holding the router (Clones included); it is
+// safe for concurrent use.
+type MultiPathRouter struct {
+	h          cube.Hypercube
+	nodeFaults cube.NodeSet
+	linkFaults cube.EdgeSet
+	maxPaths   int
+
+	mu   sync.RWMutex
+	memo map[uint64][]Path
+}
+
+// NewMultiPathRouter builds a multi-path router that avoids the given
+// faulty processors (pass nil under the partial-fault model, where
+// faulty nodes still forward) and faulty links. maxPaths bounds the
+// paths constructed per pair; values < 1 select 1 (single-path mode,
+// used when only congestion pricing — not striping — is wanted).
+func NewMultiPathRouter(h cube.Hypercube, nodeFaults cube.NodeSet, linkFaults cube.EdgeSet, maxPaths int) *MultiPathRouter {
+	if nodeFaults == nil {
+		nodeFaults = cube.NewNodeSet()
+	}
+	if linkFaults == nil {
+		linkFaults = cube.NewEdgeSet()
+	}
+	if maxPaths < 1 {
+		maxPaths = 1
+	}
+	return &MultiPathRouter{
+		h:          h,
+		nodeFaults: nodeFaults.Clone(),
+		linkFaults: linkFaults.Clone(),
+		maxPaths:   maxPaths,
+		memo:       make(map[uint64][]Path),
+	}
+}
+
+// MaxPaths returns the per-pair path bound.
+func (r *MultiPathRouter) MaxPaths() int { return r.maxPaths }
+
+// Paths returns the memoized disjoint path set for the pair. The
+// returned slice is shared: treat it as read-only.
+func (r *MultiPathRouter) Paths(src, dst cube.NodeID) ([]Path, error) {
+	key := memoKey(src, dst)
+	r.mu.RLock()
+	ps, ok := r.memo[key]
+	r.mu.RUnlock()
+	if !ok {
+		var err error
+		ps, err = DisjointPaths(r.h, src, dst, r.maxPaths, r.nodeFaults, r.linkFaults)
+		if err != nil {
+			ps = []Path{} // cache the failure: empty, non-nil
+		}
+		r.mu.Lock()
+		r.memo[key] = ps
+		r.mu.Unlock()
+	}
+	if len(ps) == 0 {
+		if len(r.linkFaults) > 0 {
+			return nil, ErrNoPathLinks{Src: src, Dst: dst}
+		}
+		return nil, ErrNoPath{Src: src, Dst: dst}
+	}
+	return ps, nil
+}
+
+// Route implements Router with the primary path.
+func (r *MultiPathRouter) Route(src, dst cube.NodeID) (Path, error) {
+	ps, err := r.Paths(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return ps[0], nil
+}
+
+// Hops implements HopCounter with the primary path's hop count.
+func (r *MultiPathRouter) Hops(src, dst cube.NodeID) (int, error) {
+	ps, err := r.Paths(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return ps[0].Hops(), nil
+}
+
+// Name implements Router.
+func (r *MultiPathRouter) Name() string { return "multipath" }

@@ -1,0 +1,239 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/xrand"
+)
+
+// checkDisjoint verifies the DisjointPaths contract for one call: every
+// path valid src→dst, avoiding the fault sets, and no intermediate node
+// shared between any two paths.
+func checkDisjoint(t *testing.T, h cube.Hypercube, src, dst cube.NodeID, paths []Path, nf cube.NodeSet, lf cube.EdgeSet) {
+	t.Helper()
+	seen := map[cube.NodeID]int{}
+	for i, p := range paths {
+		if !p.Valid(src, dst) {
+			t.Fatalf("path %d = %v not a valid %d->%d walk", i, p, src, dst)
+		}
+		if !p.AvoidsFaults(nf) {
+			t.Fatalf("path %d = %v crosses a faulty node (faults %v)", i, p, nf.Sorted())
+		}
+		if !p.AvoidsLinkFaults(lf) {
+			t.Fatalf("path %d = %v crosses a dead link", i, p)
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if j, dup := seen[v]; dup {
+				t.Fatalf("paths %d and %d share intermediate %d", j, i, v)
+			}
+			seen[v] = i
+		}
+	}
+}
+
+// TestDisjointPathsFaultFree exercises every (src, dst, k) on fault-free
+// Q_3..Q_6: the full Menger count of n vertex-disjoint paths must come
+// back, whatever the pair's Hamming distance.
+func TestDisjointPathsFaultFree(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		h := cube.New(n)
+		for src := cube.NodeID(0); src < cube.NodeID(h.Size()); src++ {
+			for dst := cube.NodeID(0); dst < cube.NodeID(h.Size()); dst++ {
+				if src == dst {
+					continue
+				}
+				for k := 1; k <= n; k++ {
+					paths, err := DisjointPaths(h, src, dst, k, nil, nil)
+					if err != nil {
+						t.Fatalf("Q_%d %d->%d k=%d: %v", n, src, dst, k, err)
+					}
+					if len(paths) != k {
+						t.Fatalf("Q_%d %d->%d k=%d: got %d paths", n, src, dst, k, len(paths))
+					}
+					checkDisjoint(t, h, src, dst, paths, nil, nil)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointPathsRandomFaults is the fault-tolerant property test:
+// random fault sets inside the connectivity bound (|node faults| +
+// |link faults| < n) must never leave a pair pathless, and every
+// returned set must satisfy the full contract.
+func TestDisjointPathsRandomFaults(t *testing.T) {
+	rng := xrand.New(24)
+	for n := 3; n <= 6; n++ {
+		h := cube.New(n)
+		for trial := 0; trial < 40; trial++ {
+			budget := rng.IntN(n) // total faults, < n = edge connectivity
+			nodes := cube.NewNodeSet()
+			links := cube.NewEdgeSet()
+			for i := 0; i < budget; i++ {
+				if rng.IntN(2) == 0 {
+					nodes.Add(cube.NodeID(rng.IntN(h.Size())))
+				} else {
+					a := cube.NodeID(rng.IntN(h.Size()))
+					links.Add(a, h.Neighbor(a, rng.IntN(n)))
+				}
+			}
+			for probe := 0; probe < 32; probe++ {
+				src := cube.NodeID(rng.IntN(h.Size()))
+				dst := cube.NodeID(rng.IntN(h.Size()))
+				if src == dst || nodes.Has(src) || nodes.Has(dst) {
+					continue
+				}
+				k := 1 + rng.IntN(n)
+				paths, err := DisjointPaths(h, src, dst, k, nodes, links)
+				if err != nil {
+					t.Fatalf("Q_%d %d->%d k=%d faults=%v: %v",
+						n, src, dst, k, nodes.Sorted(), err)
+				}
+				if len(paths) == 0 {
+					t.Fatalf("Q_%d %d->%d: empty path set without error", n, src, dst)
+				}
+				checkDisjoint(t, h, src, dst, paths, nodes, links)
+			}
+		}
+	}
+}
+
+// TestDisjointPathsDeterministic: two independent calls (and two
+// independent routers) must produce identical path sets — the machine's
+// striping order, and therefore its virtual-time accounting, depends on
+// it.
+func TestDisjointPathsDeterministic(t *testing.T) {
+	h := cube.New(5)
+	nodes := cube.NewNodeSet(7, 19)
+	links := cube.NewEdgeSet(cube.NewEdge(0, 16))
+	for src := cube.NodeID(0); src < 32; src += 3 {
+		for dst := cube.NodeID(1); dst < 32; dst += 5 {
+			if src == dst || nodes.Has(src) || nodes.Has(dst) {
+				continue
+			}
+			a, errA := DisjointPaths(h, src, dst, 5, nodes, links)
+			b, errB := DisjointPaths(h, src, dst, 5, nodes, links)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%d->%d: error divergence %v vs %v", src, dst, errA, errB)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%d->%d: %d vs %d paths", src, dst, len(a), len(b))
+			}
+			for i := range a {
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						t.Fatalf("%d->%d path %d diverged: %v vs %v", src, dst, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDisjointPathsTrivialAndClamp(t *testing.T) {
+	h := cube.New(4)
+	p, err := DisjointPaths(h, 5, 5, 3, nil, nil)
+	if err != nil || len(p) != 1 || len(p[0]) != 1 || p[0][0] != 5 {
+		t.Fatalf("self paths = %v, %v", p, err)
+	}
+	paths, err := DisjointPaths(h, 0, 15, 99, nil, nil)
+	if err != nil || len(paths) != 4 {
+		t.Fatalf("k clamp: got %d paths, %v", len(paths), err)
+	}
+	paths, err = DisjointPaths(h, 0, 1, 0, nil, nil)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("k floor: got %d paths, %v", len(paths), err)
+	}
+}
+
+// TestDisjointPathsIsolatedPair: when faults sever every route, the
+// error kind must report whether link faults were in play — and
+// ErrNoPathLinks must unwrap to ErrNoPath so callers matching the
+// generic kind with errors.Is keep working.
+func TestDisjointPathsIsolatedPair(t *testing.T) {
+	h := cube.New(3)
+	// Cut all three of node 0's edges.
+	links := cube.NewEdgeSet(cube.NewEdge(0, 1), cube.NewEdge(0, 2), cube.NewEdge(0, 4))
+	_, err := DisjointPaths(h, 0, 7, 2, nil, links)
+	if err == nil {
+		t.Fatal("expected no-path error")
+	}
+	var linkErr ErrNoPathLinks
+	if !errors.As(err, &linkErr) {
+		t.Fatalf("error %v is not ErrNoPathLinks", err)
+	}
+	if !errors.Is(err, ErrNoPath{Src: 0, Dst: 7}) {
+		t.Fatalf("ErrNoPathLinks does not unwrap to ErrNoPath: %v", err)
+	}
+	// Node faults only: the generic kind, directly.
+	_, err = DisjointPaths(h, 0, 7, 2, cube.NewNodeSet(1, 2, 4), nil)
+	if !errors.Is(err, ErrNoPath{Src: 0, Dst: 7}) {
+		t.Fatalf("node-fault isolation error = %v", err)
+	}
+}
+
+func TestSplitSegments(t *testing.T) {
+	cases := []struct {
+		total, k int
+		want     []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{5, 1, []int{5}},
+		{3, 5, []int{1, 1, 1}},
+		{0, 4, []int{0}},
+		{7, 0, []int{7}},
+	}
+	for _, c := range cases {
+		got := SplitSegments(c.total, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitSegments(%d,%d) = %v, want %v", c.total, c.k, got, c.want)
+			continue
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("SplitSegments(%d,%d) = %v, want %v", c.total, c.k, got, c.want)
+				break
+			}
+		}
+		if sum != c.total {
+			t.Errorf("SplitSegments(%d,%d) sums to %d", c.total, c.k, sum)
+		}
+	}
+}
+
+func TestMultiPathRouter(t *testing.T) {
+	h := cube.New(4)
+	r := NewMultiPathRouter(h, nil, nil, 4)
+	if r.Name() != "multipath" || r.MaxPaths() != 4 {
+		t.Fatalf("router identity: %q, %d", r.Name(), r.MaxPaths())
+	}
+	paths, err := r.Paths(0, 15)
+	if err != nil || len(paths) != 4 {
+		t.Fatalf("Paths = %d paths, %v", len(paths), err)
+	}
+	// Memoized lookups must return the identical (cached) path set.
+	again, err := r.Paths(0, 15)
+	if err != nil || &again[0][0] != &paths[0][0] {
+		t.Error("second lookup did not hit the memo")
+	}
+	// Route/Hops serve the primary path.
+	p, err := r.Route(0, 15)
+	if err != nil || p.Hops() != 4 {
+		t.Fatalf("Route = %v, %v", p, err)
+	}
+	if got, err := r.Hops(0, 15); err != nil || got != 4 {
+		t.Fatalf("Hops = %d, %v", got, err)
+	}
+	// Failures are memoized too, and re-erred on every lookup.
+	blocked := NewMultiPathRouter(cube.New(3), cube.NewNodeSet(1, 2, 4), nil, 3)
+	for i := 0; i < 2; i++ {
+		if _, err := blocked.Paths(0, 7); err == nil {
+			t.Fatal("expected error from isolated pair")
+		}
+	}
+}
