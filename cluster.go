@@ -8,6 +8,7 @@ import (
 	"hypersort/internal/engine"
 	"hypersort/internal/machine"
 	"hypersort/internal/obs"
+	"hypersort/internal/transport"
 )
 
 // ClusterConfig tunes a Cluster: the shard topology and routing
@@ -102,6 +103,48 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c.Instrument(obs.Default())
 	return &Cluster{c: c}
 }
+
+// NewRemoteCluster builds a cluster whose shards are separate PROCESSES
+// (started with `serve -cluster-mode=shard`), one per address, reached
+// over the pipelined binary wire protocol. Routing is identical to the
+// in-process cluster — the consistent-hash ring hashes shard indices,
+// so a proxy fleet sharing one ordered address list routes every key
+// the same way — with two multi-process additions: spill and shed
+// consult the live per-shard in-flight gauge fed back on every
+// response, and a dead shard (connection refused, broken mid-call,
+// timed out) is marked unhealthy, its keys re-routed to ring
+// successors, and reprobed until it returns. The per-shard engine
+// fields of cfg (PoolSize, MaxBatch, ...) are ignored here: each shard
+// process configures its own engine from its own flags.
+func NewRemoteCluster(cfg ClusterConfig, addrs []string) *Cluster {
+	opts := cluster.Options{
+		Replicas:       cfg.Replicas,
+		SpillHighWater: cfg.SpillHighWater,
+		ShedLimit:      cfg.ShedLimit,
+		Workers:        cfg.BatchWorkers,
+		Batch: engine.BatchOptions{
+			MaxBatch:   cfg.MaxBatch,
+			QueueDepth: cfg.AdmissionQueue,
+		},
+	}
+	backends := make([]cluster.Backend, len(addrs))
+	for i, addr := range addrs {
+		backends[i] = cluster.NewRemoteShard(transport.NewClient(addr, transport.ClientOptions{}))
+	}
+	c := cluster.NewWithBackends(opts, backends)
+	c.Instrument(obs.Default())
+	return &Cluster{c: c}
+}
+
+// QueueWaitHint is the worst median queue wait any shard reported over
+// the wire, in nanoseconds — the Retry-After signal for proxy mode.
+// Always 0 for in-process clusters (their queue wait is observed in the
+// local histogram instead).
+func (c *Cluster) QueueWaitHint() int64 { return c.c.QueueWaitHint() }
+
+// HealthyShards counts shards currently reachable (always NumShards for
+// in-process clusters).
+func (c *Cluster) HealthyShards() int { return c.c.HealthyShards() }
 
 // NumShards returns the number of engine shards behind the router.
 func (c *Cluster) NumShards() int { return c.c.NumShards() }

@@ -62,7 +62,7 @@ type Doc struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "^(BenchmarkFig7a|BenchmarkEngineBatch|BenchmarkFTSort|BenchmarkDirectBatch|BenchmarkClusterThroughput|BenchmarkMultipathSort)$", "benchmark regexp passed to go test -bench")
+		bench     = flag.String("bench", "^(BenchmarkFig7a|BenchmarkEngineBatch|BenchmarkFTSort|BenchmarkDirectBatch|BenchmarkClusterThroughput|BenchmarkMultipathSort|BenchmarkTransportCodec)$", "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "2x", "value passed to go test -benchtime")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("o", "", "write results as JSON to this file (default stdout)")

@@ -39,7 +39,7 @@ func TestRetryAfterSeconds(t *testing.T) {
 			for _, v := range c.observe {
 				h.Observe(v)
 			}
-			if got := retryAfterSeconds(h); got != c.want {
+			if got := retryAfterSeconds(h, nil); got != c.want {
 				t.Fatalf("retryAfterSeconds = %d, want %d", got, c.want)
 			}
 		})

@@ -126,7 +126,7 @@ func newMux(eng backend, ring *trace.Ring, chaos bool, routing hypersort.Routing
 		res := eng.SortBatchContext(r.Context(), []hypersort.Request{req})[0]
 		status := statusFor(res.Err)
 		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queueWait)))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queueWait, eng)))
 		}
 		writeJSON(w, status, toWire(req, res))
 	})
@@ -195,14 +195,29 @@ func newMux(eng backend, ring *trace.Ring, chaos bool, routing hypersort.Routing
 	return mux
 }
 
+// queueWaitHinter is implemented by backends that learn queue wait from
+// somewhere other than the local histogram — the multi-process proxy's
+// cluster, whose shards report their own medians on every response. The
+// local histogram alone would be blind there: the proxy never runs an
+// engine, so its local p50 stays zero no matter how backed up the
+// shards are.
+type queueWaitHinter interface{ QueueWaitHint() int64 }
+
 // retryAfterSeconds derives the Retry-After hint for a 503 from the
 // observed p50 queue wait: if the median admitted request waits that
 // long for capacity, a shed request retrying sooner would likely just
-// be shed again. Ceiling to whole seconds with a floor of 1 — the
-// header's unit is seconds and "0" would invite an immediate hot retry
-// loop, the opposite of backpressure.
-func retryAfterSeconds(queueWait *obs.Histogram) int {
+// be shed again. The observation is the worse of the local histogram's
+// p50 and — when the backend reports one — the remote shards' own
+// medians. Ceiling to whole seconds with a floor of 1 — the header's
+// unit is seconds and "0" would invite an immediate hot retry loop, the
+// opposite of backpressure.
+func retryAfterSeconds(queueWait *obs.Histogram, be backend) int {
 	p50 := queueWait.Quantile(0.5)
+	if h, ok := be.(queueWaitHinter); ok {
+		if w := h.QueueWaitHint(); w > p50 {
+			p50 = w
+		}
+	}
 	secs := (p50 + int64(time.Second) - 1) / int64(time.Second)
 	if secs < 1 {
 		secs = 1

@@ -9,6 +9,8 @@
 //	serve [-mode auto|direct|sim] [-oracle-sample 0] [-routing ecube|multipath]
 //	serve [-no-batching] [-max-batch 32] [-max-linger 100us] [-admission-queue 256]
 //	serve [-shards 4] [-replicas 1] [-spill-high-water 16] [-shed-limit 256]
+//	serve -cluster-mode=shard -addr :9101
+//	serve -cluster-mode=proxy -shard-addrs host1:9101,host2:9101,host3:9101
 //	serve -demo [-requests 256] [-m 4000] [-seed 1]
 //
 // Sort requests flow through the engine's continuous-batching
@@ -25,6 +27,19 @@
 // shards past -spill-high-water in-flight requests, and when home plus
 // replicas all reach -shed-limit the router sheds with the same 503
 // contract before the request touches any queue (see DESIGN.md §11).
+//
+// -cluster-mode splits the -shards topology across PROCESSES (see
+// DESIGN.md §13). "shard" serves one engine over the pipelined binary
+// wire protocol instead of HTTP — start N of them, one per core or
+// host. "proxy" serves the normal HTTP API but routes every request to
+// the shard processes named by -shard-addrs on the same consistent-hash
+// ring the in-process cluster uses, spilling and shedding against the
+// live in-flight gauges each shard feeds back on every response. A dead
+// shard is detected by transport error, routed around via ring
+// successors (zero failed requests for in-flight storms), and reprobed
+// until it returns. The engine-tuning flags (-pool, -max-batch, ...)
+// apply where the engines live: pass them to the shard processes, not
+// the proxy.
 //
 // -mode selects the execution substrate. "sim" (the historical
 // behaviour) runs every sort on the simulated machine with measured
@@ -82,15 +97,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"hypersort"
+	"hypersort/internal/engine"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 	"hypersort/internal/trace"
+	"hypersort/internal/transport"
 	"hypersort/internal/workload"
 	"hypersort/internal/xrand"
 )
@@ -105,6 +126,8 @@ func main() {
 		maxLinger   = flag.Duration("max-linger", 0, "how long the dispatcher holds a partial batch open for stragglers (0 = default)")
 		admission   = flag.Int("admission-queue", 0, "queued sorts allowed per configuration before 503s (0 = default)")
 		shards      = flag.Int("shards", 0, "engine shards behind the consistent-hash router (0 = classic single engine)")
+		clusterMode = flag.String("cluster-mode", "", "multi-process role: \"shard\" serves one engine over the binary wire protocol, \"proxy\" fronts -shard-addrs over HTTP (\"\" = in-process)")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated shard process addresses for -cluster-mode=proxy")
 		replicas    = flag.Int("replicas", -1, "replica shards a hot plan key may spill to (-1 = default 1, 0 = spill off; needs -shards)")
 		spillHW     = flag.Int("spill-high-water", 0, "in-flight requests on a home shard before spilling to replicas (0 = default)")
 		shedLimit   = flag.Int("shed-limit", 0, "in-flight requests per shard before the router sheds with 503 (0 = default)")
@@ -147,12 +170,47 @@ func main() {
 		ring = trace.NewRing(*traceBuf, *traceSample)
 		ecfg.Trace = ring.Record
 	}
-	// -shards switches the serving backend from one engine to the
-	// consistent-hash sharded cluster; the handler set is identical
-	// either way (see the backend interface in handlers.go).
+	switch *clusterMode {
+	case "", "proxy", "shard":
+	default:
+		fatal(fmt.Errorf("unknown -cluster-mode %q (want shard, proxy, or empty)", *clusterMode))
+	}
+	if *clusterMode != "" {
+		if *demo {
+			fatal(errors.New("-demo measures the in-process amortization story; drop -cluster-mode"))
+		}
+		if *shards > 0 {
+			fatal(errors.New("-cluster-mode and -shards are mutually exclusive: shard count is the -shard-addrs list length"))
+		}
+	}
+	if *clusterMode == "shard" {
+		if err := runShard(*addr, ecfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// The backend behind the HTTP handler set: one engine, the
+	// in-process sharded cluster (-shards), or the multi-process front
+	// proxy (-cluster-mode=proxy). The handler set is identical in all
+	// three (see the backend interface in handlers.go).
 	var be backend
 	var closeBackend func()
-	if *shards > 0 {
+	if *clusterMode == "proxy" {
+		addrs := splitAddrs(*shardAddrs)
+		if len(addrs) == 0 {
+			fatal(errors.New("-cluster-mode=proxy requires -shard-addrs"))
+		}
+		cl := hypersort.NewRemoteCluster(hypersort.ClusterConfig{
+			Replicas:       *replicas,
+			SpillHighWater: *spillHW,
+			ShedLimit:      *shedLimit,
+			BatchWorkers:   *workers,
+			MaxBatch:       *maxBatch,
+			AdmissionQueue: *admission,
+		}, addrs)
+		be, closeBackend = cl, cl.Close
+	} else if *shards > 0 {
 		cl := hypersort.NewCluster(hypersort.ClusterConfig{
 			Shards:          *shards,
 			Replicas:        *replicas,
@@ -186,24 +244,106 @@ func main() {
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// requests, then retires the engine's pooled worker goroutines — the
 	// teardown half of the persistent-worker substrate.
-	srv := &http.Server{Addr: *addr, Handler: newMux(be, ring, *chaos, routePolicy)}
+	srv := &http.Server{Handler: newMux(be, ring, *chaos, routePolicy)}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-done
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
-		}
-	}()
-	fmt.Printf("serve: listening on %s (shards=%d pool=%d workers=%d batching=%v mode=%s routing=%s trace-buf=%d)\n", *addr, *shards, *pool, *workers, !*noBatching, execMode, routePolicy, *traceBuf)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	fmt.Printf("serve: listening on %s (cluster-mode=%q shards=%d pool=%d workers=%d batching=%v mode=%s routing=%s trace-buf=%d)\n", lis.Addr(), *clusterMode, *shards, *pool, *workers, !*noBatching, execMode, routePolicy, *traceBuf)
+	if err := serveUntil(srv, lis, done, 10*time.Second, closeBackend); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	closeBackend()
 	fmt.Println("serve: drained, workers retired")
+}
+
+// serveUntil serves srv on lis until sig delivers, drains in-flight
+// requests (bounded by the drain timeout), and only THEN closes the
+// backend. The ordering is the point: http.Server's ListenAndServe
+// returns the moment Shutdown begins, so closing the backend right
+// after it — the old shape of main — raced engine teardown against
+// handlers still executing requests. A regression test pins the order.
+func serveUntil(srv *http.Server, lis net.Listener, sig <-chan os.Signal, drain time.Duration, closeBackend func()) error {
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(lis); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Shutdown returns only after every in-flight handler finished (or
+	// the drain deadline passed); the backend must outlive them.
+	err := <-shutdownErr
+	closeBackend()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// runShard serves one engine over the binary wire protocol — the
+// -cluster-mode=shard role. The engine flags mean exactly what they
+// mean in single-engine HTTP mode; only the front door changes. The
+// listen line prints the RESOLVED address so orchestration (and the CI
+// smoke leg) can start shards on ":0" and scrape the ports.
+func runShard(addr string, ecfg hypersort.EngineConfig) error {
+	eng := engine.NewOpts(ecfg.PoolSize, ecfg.BatchWorkers, engine.BatchOptions{
+		Disabled:   ecfg.DisableBatching,
+		MaxBatch:   ecfg.MaxBatch,
+		MaxLinger:  ecfg.MaxLinger,
+		QueueDepth: ecfg.AdmissionQueue,
+	})
+	eng.SetMode(ecfg.Mode)
+	eng.SetOracleSample(ecfg.OracleSample)
+	if ecfg.Trace != nil {
+		eng.SetTrace(machine.TraceFunc(ecfg.Trace))
+	}
+	eng.Instrument(obs.Default())
+	queueWait := obs.Default().Histogram("hypersort_engine_queue_wait_ns",
+		"Nanoseconds a request waited for execution capacity (lane queue or machine-pool acquire).")
+	srv := transport.NewServer(eng, transport.ServerOptions{QueueWait: queueWait})
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	fmt.Printf("serve: shard listening on %s (wire protocol v%d)\n", lis.Addr(), transport.Version)
+	if err := srv.Serve(lis); !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	// Same drain-before-close ordering as the HTTP path: the engine
+	// shuts down only after in-flight wire requests finished.
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shard drain:", err)
+	}
+	eng.Close()
+	fmt.Println("serve: shard drained, engine closed")
+	return nil
+}
+
+// splitAddrs parses the -shard-addrs list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 // runDemo measures the engine's amortization win on synthetic traffic:

@@ -1,0 +1,192 @@
+package main
+
+// TestMultiProcessSmoke is the end-to-end drill for the multi-process
+// deployment: it builds the real serve binary, stands up three shard
+// processes and one front proxy as SEPARATE OS processes, drives a
+// mixed sort/top-k storm through the proxy's HTTP surface, SIGKILLs one
+// shard while the storm is in flight, and requires every request to
+// come back either correctly served (200, sorted) or cleanly shed (503
+// with a Retry-After header) — never a dropped connection, a 5xx other
+// than backpressure, or a wrong answer. The CI smoke leg runs exactly
+// this test.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startProc launches the serve binary with args and scrapes its stdout
+// for the "listening on" line, returning the resolved address. The
+// process is killed (if still alive) at cleanup.
+func startProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrC <- rest:
+				default:
+				}
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+	}()
+	select {
+	case addr := <-addrC:
+		return cmd, addr
+	case <-time.After(15 * time.Second):
+		t.Fatalf("process %v never printed its listen address", args)
+		return nil, ""
+	}
+}
+
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke builds and launches real binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Three shard processes on ephemeral ports, small enough engines
+	// that the storm actually queues.
+	const shards = 3
+	cmds := make([]*exec.Cmd, shards)
+	addrs := make([]string, shards)
+	for i := range cmds {
+		cmds[i], addrs[i] = startProc(t, bin,
+			"-cluster-mode=shard", "-addr", "127.0.0.1:0", "-pool", "1", "-workers", "2", "-trace-buf", "0")
+	}
+	_, proxyAddr := startProc(t, bin,
+		"-cluster-mode=proxy", "-addr", "127.0.0.1:0", "-shard-addrs", strings.Join(addrs, ","))
+
+	url := "http://" + proxyAddr + "/v1/sort"
+	do := func(i int) error {
+		n := 64 + i%64
+		keys := make([]int64, n)
+		for j := range keys {
+			keys[j] = int64((i+1)*2654435761) ^ int64(j*40503)
+		}
+		req := map[string]any{"dim": 4 + i%3, "keys": keys}
+		if i%5 == 0 {
+			req["op"], req["k"] = "topk", 8
+		}
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var out struct {
+				Keys []int64 `json:"keys"`
+				Err  string  `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				return fmt.Errorf("request %d: decode: %w", i, err)
+			}
+			if out.Err != "" {
+				return fmt.Errorf("request %d: engine error %q", i, out.Err)
+			}
+			if !sort.SliceIsSorted(out.Keys, func(a, b int) bool { return out.Keys[a] < out.Keys[b] }) {
+				return fmt.Errorf("request %d: unsorted keys", i)
+			}
+			return nil
+		case http.StatusServiceUnavailable:
+			// Clean shed: backpressure with the Retry-After contract.
+			if resp.Header.Get("Retry-After") == "" {
+				return fmt.Errorf("request %d: 503 without Retry-After", i)
+			}
+			return nil
+		default:
+			return fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Warm up: every shard reachable, a first wave must fully succeed.
+	for i := 0; i < 6; i++ {
+		if err := do(i); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+	}
+
+	// The storm, with one shard SIGKILLed after the first third has been
+	// issued. Everything must still come back 200-sorted or 503-shed.
+	const storm = 120
+	var issued atomic.Int64
+	var killOnce sync.Once
+	errs := make([]error, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if issued.Add(1) == storm/3 {
+				killOnce.Do(func() {
+					if err := cmds[0].Process.Signal(syscall.SIGKILL); err != nil {
+						errs[i] = fmt.Errorf("SIGKILL shard 0: %w", err)
+						return
+					}
+				})
+			}
+			errs[i] = do(i)
+		}(i)
+	}
+	wg.Wait()
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			t.Errorf("storm: %v", err)
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d of %d storm requests failed outside the 200/503 contract", failed, storm)
+	}
+
+	// With the dead shard routed around, a final wave must also succeed.
+	for i := 0; i < 6; i++ {
+		if err := do(1000 + i); err != nil {
+			t.Fatalf("post-kill wave: %v", err)
+		}
+	}
+}

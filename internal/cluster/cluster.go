@@ -48,6 +48,7 @@ import (
 	"hypersort/internal/machine"
 	"hypersort/internal/obs"
 	"hypersort/internal/partition"
+	"hypersort/internal/transport"
 )
 
 // ErrSaturated is found (via errors.Is) in a Result.Err when the router
@@ -97,15 +98,26 @@ type Options struct {
 	Trace        machine.TraceFunc
 }
 
-// shard is one engine shard plus the router-side load accounting for it.
+// shard is one backend plus the router-side load accounting for it.
 type shard struct {
-	id  int
-	eng *engine.Engine
+	id int
+	be Backend
 	// inflight counts requests dispatched to this shard and not yet
 	// completed — the load signal spill and shed thresholds compare
-	// against. Router-owned: the engine's own queue metrics stay
-	// engine-internal.
+	// against. Router-owned: the backend's own queue metrics stay
+	// backend-internal.
 	inflight atomic.Int64
+}
+
+// load is the figure spill and shed thresholds compare: the router's
+// own in-flight count, raised to the backend's self-reported gauge when
+// that is higher (a remote shard also sees load from other proxies).
+func (s *shard) load() int64 {
+	l := s.inflight.Load()
+	if bl := s.be.Load(); bl > l {
+		l = bl
+	}
+	return l
 }
 
 // routeScratch is the per-request routing workspace, pooled so the
@@ -113,6 +125,7 @@ type shard struct {
 type routeScratch struct {
 	keyBuf []byte
 	cands  []int
+	walk   []int // full-ring successor walk, used only on unhealthy paths
 }
 
 // Cluster is N engine shards behind a consistent-hash router with
@@ -128,22 +141,20 @@ type Cluster struct {
 
 	scratch sync.Pool // *routeScratch
 	shedErr error     // prebuilt: contents are static per cluster
+	downErr error     // prebuilt: every shard unhealthy
 
 	requests atomic.Int64
 	spills   atomic.Int64
 	sheds    atomic.Int64
+	reroutes atomic.Int64
 
 	// cm is nil until Instrument; every consuming path guards on that.
 	cm *obs.ClusterMetrics
 }
 
-// New builds a cluster. Like the engine it fronts, it performs no
-// planning up front; each shard's plans and machines materialize as the
-// router first sends it traffic.
-func New(opts Options) *Cluster {
-	if opts.Shards < 1 {
-		opts.Shards = runtime.GOMAXPROCS(0)
-	}
+// normalize fills opts' defaults for a cluster of `shards` shards.
+func (opts *Options) normalize(shards int) {
+	opts.Shards = shards
 	if opts.Replicas < 0 {
 		opts.Replicas = 1
 	}
@@ -169,29 +180,59 @@ func New(opts Options) *Cluster {
 	if opts.VirtualNodes < 1 {
 		opts.VirtualNodes = 128
 	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+}
+
+// build assembles the router over an already-constructed backend set.
+func build(opts Options, backends []Backend) *Cluster {
+	opts.normalize(len(backends))
 	c := &Cluster{
 		ring:     newRing(opts.Shards, opts.VirtualNodes),
 		replicas: opts.Replicas,
 		spillHW:  int64(opts.SpillHighWater),
 		shed:     int64(opts.ShedLimit),
-		workers:  workers,
+		workers:  opts.Workers,
 	}
 	c.shedErr = fmt.Errorf("%w: %w (%d shards, %d replicas, shed limit %d in-flight)",
 		ErrSaturated, engine.ErrAdmissionRejected, opts.Shards, opts.Replicas, opts.ShedLimit)
-	for i := 0; i < opts.Shards; i++ {
+	c.downErr = fmt.Errorf("%w: %w (no healthy shards among %d)",
+		ErrSaturated, engine.ErrAdmissionRejected, opts.Shards)
+	for i, be := range backends {
+		c.shards = append(c.shards, &shard{id: i, be: be})
+	}
+	return c
+}
+
+// New builds an in-process cluster. Like the engine it fronts, it
+// performs no planning up front; each shard's plans and machines
+// materialize as the router first sends it traffic.
+func New(opts Options) *Cluster {
+	if opts.Shards < 1 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	backends := make([]Backend, opts.Shards)
+	for i := range backends {
 		e := engine.NewOpts(opts.PoolSize, opts.Workers, opts.Batch)
 		e.SetMode(opts.Mode)
 		e.SetOracleSample(opts.OracleSample)
 		if opts.Trace != nil {
 			e.SetTrace(opts.Trace)
 		}
-		c.shards = append(c.shards, &shard{id: i, eng: e})
+		backends[i] = &localShard{eng: e}
 	}
-	return c
+	return build(opts, backends)
+}
+
+// NewWithBackends builds a cluster over caller-constructed backends —
+// the multi-process entry point (RemoteShard backends, one per shard
+// process address) and the seam tests use to substitute failing
+// backends. Shard IDs follow slice order, so the ring routes
+// identically to an in-process cluster of the same size: the ring
+// hashes shard INDICES, not addresses.
+func NewWithBackends(opts Options, backends []Backend) *Cluster {
+	return build(opts, backends)
 }
 
 // NumShards returns the number of engine shards.
@@ -207,16 +248,41 @@ func (c *Cluster) NumShards() int { return len(c.shards) }
 func (c *Cluster) Instrument(r *obs.Registry) {
 	c.cm = obs.NewClusterMetrics(r, len(c.shards))
 	for _, s := range c.shards {
-		s.eng.Instrument(r)
+		s.be.Instrument(r)
 	}
 }
 
-// Close shuts down every shard engine: dispatch lanes drain, pooled
-// machine workers retire. Idempotent, like Engine.Close.
+// Close shuts down every shard backend: dispatch lanes drain and pooled
+// machine workers retire in-process; transport clients close in
+// multi-process mode. Idempotent, like Engine.Close.
 func (c *Cluster) Close() {
 	for _, s := range c.shards {
-		s.eng.Close()
+		s.be.Close()
 	}
+}
+
+// HealthyShards counts shards currently reporting healthy.
+func (c *Cluster) HealthyShards() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.be.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueWaitHint is the worst (maximum) median queue wait any shard
+// reported, in nanoseconds — the proxy's Retry-After signal. Always 0
+// for in-process clusters, whose queue wait is observed locally.
+func (c *Cluster) QueueWaitHint() int64 {
+	var hint int64
+	for _, s := range c.shards {
+		if w := s.be.QueueWaitNs(); w > hint {
+			hint = w
+		}
+	}
+	return hint
 }
 
 // hashConfig fingerprints cfg into the scratch buffer and hashes it.
@@ -231,6 +297,15 @@ func hashConfig(sc *routeScratch, cfg engine.Config) uint64 {
 // route picks the shard for cfg: home unless spilling, least-loaded
 // candidate when spilling, nil plus the shed error when every candidate
 // is saturated. spilled reports a non-home choice.
+//
+// Health enters before load does: when any of the key's home+replica
+// candidates is unhealthy, the candidate window slides along the ring —
+// the full successor order, unhealthy shards skipped, first R+1
+// survivors kept. Keys homed on healthy shards route exactly as before
+// (the fast path below never allocates or touches the full walk), keys
+// homed on a dead shard land deterministically on its ring successor,
+// and when every shard is down the request sheds with the same
+// 503-shaped error contract as saturation.
 func (c *Cluster) route(cfg engine.Config) (target *shard, spilled bool, err error) {
 	var start time.Time
 	if c.cm != nil {
@@ -242,14 +317,28 @@ func (c *Cluster) route(cfg engine.Config) (target *shard, spilled bool, err err
 	}
 	h := hashConfig(sc, cfg)
 	cands := c.ring.successors(h, c.replicas+1, sc.cands[:0])
+	for _, i := range cands {
+		if !c.shards[i].be.Healthy() {
+			cands = c.healthySuccessors(h, sc, cands)
+			break
+		}
+	}
+	if len(cands) == 0 {
+		sc.cands = cands
+		c.scratch.Put(sc)
+		if c.cm != nil {
+			c.cm.Decision.Observe(time.Since(start).Nanoseconds())
+		}
+		return nil, false, c.downErr
+	}
 	home := c.shards[cands[0]]
 	target = home
-	if load := home.inflight.Load(); load >= c.spillHW {
+	if load := home.load(); load >= c.spillHW {
 		// Home is hot: consider the replica set, least loaded first.
 		best, bestLoad := home, load
 		for _, i := range cands[1:] {
 			s := c.shards[i]
-			if l := s.inflight.Load(); l < bestLoad {
+			if l := s.load(); l < bestLoad {
 				best, bestLoad = s, l
 			}
 		}
@@ -273,6 +362,24 @@ func (c *Cluster) route(cfg engine.Config) (target *shard, spilled bool, err err
 	return target, spilled, nil
 }
 
+// healthySuccessors rebuilds the candidate window when some candidate
+// is down: the key's full ring successor order filtered to healthy
+// shards, truncated to the replica window. Empty when every shard is
+// unhealthy.
+func (c *Cluster) healthySuccessors(h uint64, sc *routeScratch, cands []int) []int {
+	sc.walk = c.ring.successors(h, len(c.shards), sc.walk[:0])
+	cands = cands[:0]
+	for _, i := range sc.walk {
+		if c.shards[i].be.Healthy() {
+			cands = append(cands, i)
+			if len(cands) == c.replicas+1 {
+				break
+			}
+		}
+	}
+	return cands
+}
+
 // Candidates returns the shard ids eligible to serve cfg, home first,
 // then its replica candidates in ring order. Pure — the same
 // configuration always yields the same list on clusters of the same
@@ -291,44 +398,53 @@ func (c *Cluster) Do(req engine.Request) engine.Result {
 
 // DoContext is Do with deadline and cancellation awareness (the
 // semantics of Engine.DoContext, behind a routing decision).
+//
+// In multi-process mode a dispatched request can fail AFTER routing
+// because its shard process died mid-call. The router retries such
+// failures — route again (the dead shard now reports unhealthy, so the
+// key lands on its ring successor) — up to one attempt per shard, so a
+// storm survives a shard kill with zero failed non-shed requests.
 func (c *Cluster) DoContext(ctx context.Context, req engine.Request) engine.Result {
 	c.requests.Add(1)
 	cm := c.cm
 	if cm != nil {
 		cm.Requests.Inc()
 	}
-	s, spilled, err := c.route(req.Config)
-	if err != nil {
-		c.sheds.Add(1)
-		if cm != nil {
-			cm.Sheds.Inc()
+	for attempt := 0; ; attempt++ {
+		s, spilled, err := c.route(req.Config)
+		if err != nil {
+			c.sheds.Add(1)
+			if cm != nil {
+				cm.Sheds.Inc()
+			}
+			return engine.Result{Err: err}
 		}
-		return engine.Result{Err: err}
-	}
-	if spilled {
-		c.spills.Add(1)
-		if cm != nil {
-			cm.Spills.Inc()
+		if spilled {
+			c.spills.Add(1)
+			if cm != nil {
+				cm.Spills.Inc()
+			}
 		}
-	}
-	s.inflight.Add(1)
-	if cm != nil {
-		cm.ShardRequests[s.id].Inc()
-		cm.ShardInflight[s.id].Add(1)
-	}
-	defer func() {
+		s.inflight.Add(1)
+		if cm != nil {
+			cm.ShardRequests[s.id].Inc()
+			cm.ShardInflight[s.id].Add(1)
+		}
+		res := s.be.Do(ctx, req)
 		s.inflight.Add(-1)
 		if cm != nil {
 			cm.ShardInflight[s.id].Add(-1)
 		}
-	}()
-	// Inline fast path: a direct-eligible sort runs on this goroutine —
-	// the router already admitted it, so the lane's bounded queue (the
-	// only thing a lane adds to a direct batch) is redundant here.
-	if res, ok := s.eng.DoDirect(req); ok {
+		if res.Err != nil && errors.Is(res.Err, transport.ErrShardDown) &&
+			attempt < len(c.shards) && ctx.Err() == nil {
+			c.reroutes.Add(1)
+			if cm != nil {
+				cm.Reroutes.Inc()
+			}
+			continue
+		}
 		return res
 	}
-	return s.eng.DoContext(ctx, req)
 }
 
 // Batch executes the requests concurrently — at most the cluster's
@@ -365,7 +481,7 @@ func (c *Cluster) BatchContext(ctx context.Context, reqs []engine.Request) []eng
 func (c *Cluster) InjectFault(cfg engine.Config, injs ...machine.Injection) error {
 	var errs []error
 	for _, s := range c.shards {
-		if err := s.eng.InjectFault(cfg, injs...); err != nil {
+		if err := s.be.InjectFault(cfg, injs...); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
 		}
 	}
@@ -377,7 +493,7 @@ func (c *Cluster) InjectFault(cfg engine.Config, injs ...machine.Injection) erro
 func (c *Cluster) DisarmFaults(cfg engine.Config) error {
 	var errs []error
 	for _, s := range c.shards {
-		if err := s.eng.DisarmFaults(cfg); err != nil {
+		if err := s.be.DisarmFaults(cfg); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
 		}
 	}
@@ -395,6 +511,9 @@ type Metrics struct {
 	Requests int64
 	Spills   int64
 	Sheds    int64
+	// Reroutes counts requests re-dispatched to a ring successor after
+	// their chosen shard failed mid-call (always zero in-process).
+	Reroutes int64
 	// Engine is the element-wise sum of Shards.
 	Engine engine.Metrics
 	// Shards holds each shard engine's own counters, indexed by shard id.
@@ -407,10 +526,11 @@ func (c *Cluster) Metrics() Metrics {
 		Requests: c.requests.Load(),
 		Spills:   c.spills.Load(),
 		Sheds:    c.sheds.Load(),
+		Reroutes: c.reroutes.Load(),
 		Shards:   make([]engine.Metrics, len(c.shards)),
 	}
 	for i, s := range c.shards {
-		sm := s.eng.Metrics()
+		sm := s.be.Metrics()
 		m.Shards[i] = sm
 		m.Engine.Requests += sm.Requests
 		m.Engine.PlanHits += sm.PlanHits

@@ -1,8 +1,16 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/engine"
+	"hypersort/internal/machine"
+	"hypersort/internal/obs"
 )
 
 // testKeys returns a deterministic spread of hash points standing in for
@@ -130,5 +138,113 @@ func TestRingSpread(t *testing.T) {
 		if c > 2*fair || c < fair/2 {
 			t.Fatalf("shard %d owns %d of %d keys (fair share %d): spread too skewed", s, c, len(keys), fair)
 		}
+	}
+}
+
+// churnBackend is a Backend whose only interesting behaviour is a
+// toggleable health bit — the routing-churn test below cares about
+// where requests WOULD land, not what shards do with them.
+type churnBackend struct{ healthy atomic.Bool }
+
+func (b *churnBackend) Do(ctx context.Context, req engine.Request) engine.Result {
+	return engine.Result{}
+}
+func (b *churnBackend) InjectFault(engine.Config, ...machine.Injection) error { return nil }
+func (b *churnBackend) DisarmFaults(engine.Config) error                      { return nil }
+func (b *churnBackend) Metrics() engine.Metrics                               { return engine.Metrics{} }
+func (b *churnBackend) Healthy() bool                                         { return b.healthy.Load() }
+func (b *churnBackend) Load() int64                                           { return -1 }
+func (b *churnBackend) QueueWaitNs() int64                                    { return 0 }
+func (b *churnBackend) Instrument(*obs.Registry)                              {}
+func (b *churnBackend) Close()                                                {}
+
+// TestRingChurnOnShardDeath is the health-aware routing contract for a
+// ring whose MEMBERSHIP is fixed but whose shards die and return:
+//
+//   - removing one shard of N re-homes only the keys it owned — about
+//     1/N of the key space — onto its ring successors; every other key
+//     keeps its shard (no cascade churn among survivors);
+//   - no key is ever stranded: with any single shard down, every key
+//     still routes to a healthy shard without error;
+//   - re-adding the shard restores the original assignment exactly.
+func TestRingChurnOnShardDeath(t *testing.T) {
+	const shards = 5
+	backends := make([]Backend, shards)
+	for i := range backends {
+		be := &churnBackend{}
+		be.healthy.Store(true)
+		backends[i] = be
+	}
+	c := NewWithBackends(Options{Replicas: 1}, backends)
+	defer c.Close()
+
+	// Distinct configurations spread across the hash space: the fault
+	// list feeds the canonical routing fingerprint.
+	configs := make([]engine.Config, 3000)
+	for i := range configs {
+		configs[i] = engine.Config{Dim: 6, Faults: []cube.NodeID{cube.NodeID(i)}}
+	}
+	owner := func(cfg engine.Config) int {
+		s, _, err := c.route(cfg)
+		if err != nil {
+			t.Fatalf("route(%v): %v", cfg.Faults, err)
+		}
+		return s.id
+	}
+	before := make([]int, len(configs))
+	for i, cfg := range configs {
+		before[i] = owner(cfg)
+	}
+
+	for dead := 0; dead < shards; dead++ {
+		backends[dead].(*churnBackend).healthy.Store(false)
+		moved := 0
+		for i, cfg := range configs {
+			got := owner(cfg) // Fatals if stranded
+			if got == dead {
+				t.Fatalf("key %d routed to dead shard %d", i, dead)
+			}
+			if before[i] == dead {
+				moved++
+			} else if got != before[i] {
+				t.Fatalf("key %d churned between survivors: shard %d -> %d while %d was down",
+					i, before[i], got, dead)
+			}
+		}
+		if frac, want := float64(moved)/float64(len(configs)), 1.0/shards; frac > 2*want {
+			t.Fatalf("shard %d down moved %.1f%% of keys, want about %.1f%%", dead, 100*frac, 100*want)
+		}
+
+		// Re-add: the original assignment must come back exactly.
+		backends[dead].(*churnBackend).healthy.Store(true)
+		for i, cfg := range configs {
+			if got := owner(cfg); got != before[i] {
+				t.Fatalf("key %d did not return home after shard %d recovered: %d != %d",
+					i, dead, got, before[i])
+			}
+		}
+	}
+}
+
+// TestRouteAllShardsDown pins the floor of the health machinery: with
+// every shard unhealthy the router sheds with the saturation contract
+// (engine.ErrAdmissionRejected identity → 503 + Retry-After upstream)
+// instead of panicking or routing into a void.
+func TestRouteAllShardsDown(t *testing.T) {
+	backends := make([]Backend, 3)
+	for i := range backends {
+		backends[i] = &churnBackend{} // zero value: unhealthy
+	}
+	c := NewWithBackends(Options{Replicas: 1}, backends)
+	defer c.Close()
+	res := c.Do(engine.Request{Config: engine.Config{Dim: 4}, Op: engine.OpSort})
+	if !errors.Is(res.Err, ErrSaturated) || !errors.Is(res.Err, engine.ErrAdmissionRejected) {
+		t.Fatalf("all-down error = %v, want ErrSaturated wrapping ErrAdmissionRejected", res.Err)
+	}
+	if m := c.Metrics(); m.Sheds != 1 {
+		t.Fatalf("Sheds = %d, want 1", m.Sheds)
+	}
+	if c.HealthyShards() != 0 {
+		t.Fatalf("HealthyShards = %d, want 0", c.HealthyShards())
 	}
 }

@@ -135,6 +135,10 @@ type ClusterMetrics struct {
 	// choosing a shard (hash, ring walk, load reads) — the cluster layer's
 	// own overhead, separable from engine queueing.
 	Decision *Histogram
+	// Reroutes counts requests re-dispatched to a ring successor after
+	// their chosen shard failed mid-call (multi-process mode: shard
+	// process death or transport error; always zero in-process).
+	Reroutes *Counter
 	// ShardRequests counts requests dispatched to each shard;
 	// ShardInflight gauges each shard's requests currently in flight (the
 	// load signal the spill and shed thresholds compare against).
@@ -155,6 +159,8 @@ func NewClusterMetrics(r *Registry, shards int) *ClusterMetrics {
 			"Requests refused before enqueueing because every eligible shard was saturated."),
 		Decision: r.Histogram("hypersort_cluster_router_decision_ns",
 			"Nanoseconds the router spent choosing a shard (hash, ring walk, load reads)."),
+		Reroutes: r.Counter("hypersort_cluster_reroutes_total",
+			"Requests re-dispatched to a ring successor after their chosen shard failed mid-call."),
 	}
 	for s := 0; s < shards; s++ {
 		id := fmt.Sprint(s)
@@ -166,6 +172,37 @@ func NewClusterMetrics(r *Registry, shards int) *ClusterMetrics {
 			"Requests currently in flight on this shard (the router's spill/shed load signal).", "shard", id))
 	}
 	return cm
+}
+
+// TransportMetrics is the multi-process wire layer's bundle, held by
+// the proxy side (the shard clients): per-call round-trip time,
+// pipeline depth, and shard health transitions.
+type TransportMetrics struct {
+	// RTT is the per-call round-trip distribution in nanoseconds,
+	// measured from frame encode to response decode — wire overhead
+	// plus shard-side queueing and execution.
+	RTT *Histogram
+	// PipelineDepth is the distribution of calls already in flight to
+	// a shard when another was sent; sustained depth near the
+	// connection-pool capacity means the pipeline, not the shard, is
+	// the bottleneck.
+	PipelineDepth *Histogram
+	// ShardUnhealthy counts healthy→unhealthy transitions across all
+	// shard clients (one per detected shard death, not per failed
+	// call).
+	ShardUnhealthy *Counter
+}
+
+// NewTransportMetrics registers the transport bundle in r. Idempotent.
+func NewTransportMetrics(r *Registry) *TransportMetrics {
+	return &TransportMetrics{
+		RTT: r.Histogram("hypersort_transport_rtt_ns",
+			"Per-call shard round-trip time in nanoseconds (encode to decode, shard queueing included)."),
+		PipelineDepth: r.Histogram("hypersort_transport_pipeline_depth",
+			"Calls already in flight to a shard when another was sent."),
+		ShardUnhealthy: r.Counter("hypersort_transport_shard_unhealthy_total",
+			"Healthy-to-unhealthy shard transitions detected by the transport clients."),
+	}
 }
 
 // EngineMetrics is the request engine's bundle, recorded once per request

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"hypersort/internal/cube"
+	"hypersort/internal/engine"
+	"hypersort/internal/machine"
+	"hypersort/internal/sortutil"
+)
+
+// FuzzDecodeFrame drives arbitrary bytes through the decoder. Two
+// properties are under test:
+//
+//   - Safety: no input panics, over-reads, or triggers an allocation
+//     sized by an unvalidated count (a hostile count would OOM long
+//     before the fuzzer's time budget noticed anything else).
+//   - Round-trip identity: any body the decoder ACCEPTS must re-encode
+//     to the identical bytes. The codec has no redundant encodings —
+//     one uvarint per integer, no optional fields — so accept implies
+//     canonical, and re-encode-then-compare catches any decoded field
+//     silently dropping or misreading payload bits.
+//
+// The seed corpus is one valid frame of every type, so coverage starts
+// inside the per-type decoders rather than dying at the version byte.
+func FuzzDecodeFrame(f *testing.F) {
+	cfg := engine.Config{
+		Dim:        4,
+		Faults:     []cube.NodeID{3, 9},
+		LinkFaults: [][2]cube.NodeID{{0, 8}},
+		Model:      machine.Total,
+		Cost:       machine.CostModel{Compare: 1, Elem: 2, Startup: 50},
+	}
+	keys := []sortutil.Key{5, -12, 0, 1 << 40}
+	fb := Feedback{Inflight: 3, QueueWaitNs: 999}
+	seeds := [][]byte{
+		AppendRequest(nil, 7, engine.Request{Config: cfg, Op: engine.OpTopK, K: 2, Keys: keys}, 12345),
+		AppendResult(nil, 8, engine.Result{Keys: keys, Value: -1, Direct: true,
+			Res: machine.Result{Makespan: 100, Messages: 5, Comparisons: 50}}, fb),
+		AppendResult(nil, 9, engine.Result{Err: engine.ErrAdmissionRejected}, fb),
+		AppendProbe(nil, 1),
+		AppendProbeAck(nil, 1, fb),
+		AppendInject(nil, 2, cfg, []machine.Injection{{Kind: machine.KillNode, Node: 3, At: 7}}),
+		AppendDisarm(nil, 3, cfg),
+		AppendAck(nil, 4, nil, fb),
+		AppendMetricsReq(nil, 5),
+		AppendMetricsAck(nil, 6, engine.Metrics{Requests: 12, PlanHits: 3}, fb),
+	}
+	for _, s := range seeds {
+		f.Add(s[4:]) // strip the length prefix: the fuzzer owns the body
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := DecodeFrame(&fr, data); err != nil {
+			return // rejected is always fine; panicking is the bug
+		}
+		var re []byte
+		switch fr.Type {
+		case TReq:
+			re = AppendRequest(nil, fr.Corr, fr.Req, fr.Deadline)
+		case TRes:
+			re = AppendResult(nil, fr.Corr, fr.Res, fr.Feedback)
+		case TProbe:
+			re = AppendProbe(nil, fr.Corr)
+		case TProbeAck:
+			re = AppendProbeAck(nil, fr.Corr, fr.Feedback)
+		case TInject:
+			re = AppendInject(nil, fr.Corr, fr.Cfg, fr.Injs)
+		case TDisarm:
+			re = AppendDisarm(nil, fr.Corr, fr.Cfg)
+		case TAck:
+			re = AppendAck(nil, fr.Corr, fr.Err, fr.Feedback)
+		case TMetrics:
+			re = AppendMetricsReq(nil, fr.Corr)
+		case TMetricsAck:
+			re = AppendMetricsAck(nil, fr.Corr, fr.Metrics, fr.Feedback)
+		default:
+			t.Fatalf("decoder accepted unknown type %d", fr.Type)
+		}
+		if !bytes.Equal(re[4:], data) {
+			t.Fatalf("round-trip mismatch for type %d:\n in  %x\n out %x", fr.Type, data, re[4:])
+		}
+	})
+}
